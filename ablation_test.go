@@ -1,0 +1,125 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// extended reduction techniques (global and in-tree), racing versus
+// normal ramp-up, SCIP-SDP's dual fixing, and the LP versus SDP
+// relaxation approaches. Each bench reports the ablated configuration's
+// effect as custom metrics rather than asserting outcomes (the paper's
+// claims about these features are directional, not absolute).
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/misdp"
+	"repro/internal/misdp/testsets"
+	"repro/internal/scip"
+	"repro/internal/steiner"
+	"repro/internal/steiner/puc"
+	"repro/internal/ug"
+)
+
+// solveSteinerWith solves an SPG with a configurable Def/propagator.
+func solveSteinerWith(noReduce bool, inTree bool, s *steiner.SPG) *scip.Solver {
+	def := &steiner.Def{NoReduce: noReduce}
+	data, _ := def.Presolve(s, scip.Infinity)
+	prob := def.BuildModel(data.(*steiner.SPG))
+	plug := steiner.NewPlugins()
+	plug.Def = def
+	if !inTree {
+		// Disable the in-tree reduction layer by pushing its activation
+		// depth beyond any realistic tree.
+		plug.Propagators = []scip.Propagator{&steiner.Propagator{ReductionBudget: 400, MinDepth: 1 << 30}}
+	}
+	set := steiner.DefaultSettings()
+	set.SepaRounds = 8
+	set.MaxCutRows = 150
+	solver := scip.NewSolver(prob, set, plug)
+	solver.Solve()
+	return solver
+}
+
+// BenchmarkAblationExtendedReductions compares presolve on/off: the
+// paper's point is that PUC-family instances resist reductions, so the
+// node-count effect is small there while generic instances collapse.
+func BenchmarkAblationExtendedReductions(b *testing.B) {
+	inst := func() *steiner.SPG { return puc.HypercubeSpread(5, 16, 100, 165, 23) }
+	for i := 0; i < b.N; i++ {
+		with := solveSteinerWith(false, true, inst())
+		without := solveSteinerWith(true, true, inst())
+		b.ReportMetric(float64(with.Stats.Nodes), "nodes-with-presolve")
+		b.ReportMetric(float64(without.Stats.Nodes), "nodes-without-presolve")
+	}
+}
+
+// BenchmarkAblationInTreeReductions measures the in-tree reduction layer
+// (the paper's extended reductions deep in the B&B tree, credited for
+// bip52u).
+func BenchmarkAblationInTreeReductions(b *testing.B) {
+	inst := func() *steiner.SPG { return puc.HypercubeSpread(5, 16, 100, 163, 19) }
+	for i := 0; i < b.N; i++ {
+		with := solveSteinerWith(false, true, inst())
+		without := solveSteinerWith(false, false, inst())
+		b.ReportMetric(float64(with.Stats.Nodes), "nodes-with-intree")
+		b.ReportMetric(float64(without.Stats.Nodes), "nodes-without-intree")
+		b.ReportMetric(float64(with.Stats.PropFixings), "prop-fixings")
+	}
+}
+
+// BenchmarkAblationRacingVsNormal compares the two ramp-up modes on the
+// same instance and worker count.
+func BenchmarkAblationRacingVsNormal(b *testing.B) {
+	inst := func() *steiner.SPG { return puc.HypercubeSpread(5, 16, 100, 163, 19) }
+	for i := 0; i < b.N; i++ {
+		normal, _, err := core.SolveParallel(steiner.NewApp(inst()), ug.Config{Workers: 4, TimeLimit: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		racing, _, err := core.SolveParallel(steiner.NewApp(inst()), ug.Config{
+			Workers: 4, TimeLimit: 30, RampUp: ug.RampUpRacing, RacingTime: 0.2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(normal.Stats.Time, "normal-sec")
+		b.ReportMetric(racing.Stats.Time, "racing-sec")
+	}
+}
+
+// BenchmarkAblationDualFixing measures SCIP-SDP's dual-fixing presolve.
+func BenchmarkAblationDualFixing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var nodes [2]int64
+		for k, skip := range []bool{false, true} {
+			def := &misdp.Def{SkipDualFix: skip}
+			p := testsets.TTD(5, 14, 3, 1)
+			data, _ := def.Presolve(p, scip.Infinity)
+			prob := def.BuildModel(data.(*misdp.MISDP))
+			plug := misdp.NewPlugins()
+			plug.Def = def
+			solver := scip.NewSolver(prob, misdp.SDPSettings(), plug)
+			solver.Solve()
+			nodes[k] = solver.Stats.Nodes
+		}
+		b.ReportMetric(float64(nodes[0]), "nodes-with-dualfix")
+		b.ReportMetric(float64(nodes[1]), "nodes-without-dualfix")
+	}
+}
+
+// BenchmarkAblationLPvsSDPRelaxator times the two SCIP-SDP solution
+// approaches per family — the trade-off racing ramp-up arbitrates.
+func BenchmarkAblationLPvsSDPRelaxator(b *testing.B) {
+	families := map[string]func() *misdp.MISDP{
+		"ttd": func() *misdp.MISDP { return testsets.TTD(5, 14, 3, 1) },
+		"cls": func() *misdp.MISDP { return testsets.CLS(8, 11, 3, 1) },
+		"mkp": func() *misdp.MISDP { return testsets.MkP(11, 3, 1) },
+	}
+	for i := 0; i < b.N; i++ {
+		for name, build := range families {
+			for _, set := range []scip.Settings{misdp.SDPSettings(), misdp.LPSettings()} {
+				set.TimeLimit = 30
+				solver, _, _ := core.SolveSequential(misdp.NewApp(build(), 2), set)
+				b.ReportMetric(solver.Elapsed(), name+"-"+set.Name[:3]+"-sec")
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command stpgen generates PUC-family Steiner tree instances (hypercube,
+// code-cover/Hamming, bipartite) in SteinLib .stp format.
+//
+// Usage:
+//
+//	stpgen -family hc -d 6 -perturbed > hc6p.stp
+//	stpgen -family cc -d 3 -a 4 -terminals 8 > cc3-4.stp
+//	stpgen -family bip -terminals 16 -steiner 80 > bip.stp
+//	stpgen -named hc6u > hc6u.stp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/steiner"
+	"repro/internal/steiner/puc"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "hc", "family: hc, cc, bip")
+		named     = flag.String("named", "", "named paper-instance analogue (overrides family flags)")
+		d         = flag.Int("d", 5, "dimension (hc, cc)")
+		a         = flag.Int("a", 3, "alphabet size (cc)")
+		terminals = flag.Int("terminals", 0, "terminal count (cc, bip, hc with -terminals)")
+		steinerN  = flag.Int("steiner", 60, "Steiner-side size (bip)")
+		deg       = flag.Int("deg", 3, "terminal degree (bip)")
+		perturbed = flag.Bool("perturbed", false, "perturbed costs (p variant) instead of unit (u)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var s *steiner.SPG
+	if *named != "" {
+		s = puc.Named(*named)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "stpgen: unknown named instance %q\n", *named)
+			os.Exit(2)
+		}
+	} else {
+		switch *family {
+		case "hc":
+			if *terminals > 0 {
+				s = puc.HypercubeT(*d, *terminals, *perturbed, *seed)
+			} else {
+				s = puc.Hypercube(*d, *perturbed, *seed)
+			}
+		case "cc":
+			t := *terminals
+			if t == 0 {
+				t = 8
+			}
+			s = puc.CodeCover(*d, *a, t, *perturbed, *seed)
+		case "bip":
+			t := *terminals
+			if t == 0 {
+				t = 16
+			}
+			s = puc.Bipartite(t, *steinerN, *deg, *perturbed, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "stpgen: unknown family %q\n", *family)
+			os.Exit(2)
+		}
+	}
+	if err := steiner.WriteSTP(os.Stdout, s); err != nil {
+		fmt.Fprintln(os.Stderr, "stpgen:", err)
+		os.Exit(1)
+	}
+}

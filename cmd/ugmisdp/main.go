@@ -1,0 +1,120 @@
+// Command ugmisdp is the parallel mixed-integer SDP solver — the
+// ug[SCIP-SDP,*] binary. It generates an instance from one of the three
+// CBLIB application families (truss topology design, cardinality-
+// constrained least squares, minimum k-partitioning), then solves it
+// either sequentially (LP or SDP mode) or in parallel with the racing
+// LP/SDP hybrid.
+//
+// Usage:
+//
+//	ugmisdp -family ttd -workers 8
+//	ugmisdp -family mkp -n 7 -k 3 -mode sdp -workers 1
+//	ugmisdp -family cls -racing -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/misdp"
+	"repro/internal/misdp/testsets"
+	"repro/internal/ug"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "ttd", "instance family: ttd, cls, mkp")
+		n         = flag.Int("n", 0, "size parameter (bars / features / vertices; 0 = default)")
+		k         = flag.Int("k", 0, "cardinality / partition classes (0 = default)")
+		seed      = flag.Int64("seed", 1, "instance seed")
+		workers   = flag.Int("workers", 4, "number of ParaSolvers")
+		racing    = flag.Bool("racing", true, "use racing ramp-up (the LP/SDP hybrid)")
+		mode      = flag.String("mode", "hybrid", "solution mode: lp, sdp, hybrid (racing)")
+		timeLimit = flag.Float64("time", 0, "time limit in seconds")
+		seq       = flag.Bool("sequential", false, "run the sequential solver instead of UG")
+	)
+	flag.Parse()
+
+	var inst *misdp.MISDP
+	switch *family {
+	case "ttd":
+		bars, dim := 8, 4
+		if *n > 0 {
+			bars = *n
+		}
+		inst = testsets.TTD(dim, bars, 2, *seed)
+	case "cls":
+		features, kk := 6, 3
+		if *n > 0 {
+			features = *n
+		}
+		if *k > 0 {
+			kk = *k
+		}
+		inst = testsets.CLS(features, features+2, kk, *seed)
+	case "mkp":
+		verts, kk := 7, 3
+		if *n > 0 {
+			verts = *n
+		}
+		if *k > 0 {
+			kk = *k
+		}
+		inst = testsets.MkP(verts, kk, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "ugmisdp: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	fmt.Printf("instance %s: %d variables, %d blocks, %d rows\n",
+		inst.Name, inst.M, len(inst.Blocks), len(inst.Rows))
+
+	if *seq {
+		set := misdp.SDPSettings()
+		if *mode == "lp" {
+			set = misdp.LPSettings()
+		}
+		set.TimeLimit = *timeLimit
+		app := misdp.NewApp(inst, 4)
+		solver, st, _ := core.SolveSequential(app, set)
+		fmt.Printf("status   %v\n", st)
+		if solver.Incumbent() != nil {
+			fmt.Printf("objective %.6g (max form)\n", -solver.Incumbent().Obj)
+		}
+		fmt.Printf("nodes    %d\n", solver.Stats.Nodes)
+		return
+	}
+
+	var app core.App
+	switch *mode {
+	case "lp":
+		app = misdp.NewAppLP(inst, 16)
+	default:
+		app = misdp.NewApp(inst, 16)
+	}
+	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit}
+	if *racing || *mode == "hybrid" {
+		cfg.RampUp = ug.RampUpRacing
+		cfg.RacingTime = 0.3
+	}
+	res, _, err := core.SolveParallel(app, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ugmisdp:", err)
+		os.Exit(1)
+	}
+	st := res.Stats
+	switch {
+	case res.Optimal:
+		fmt.Printf("status   optimal\nobjective %.6g (max form)\n", -res.Obj)
+	case res.Infeasible:
+		fmt.Println("status   infeasible")
+	default:
+		fmt.Printf("status   interrupted (primal %.6g dual %.6g, max form)\n",
+			-st.FinalPrimal, -st.FinalDual)
+	}
+	fmt.Printf("time     %.2fs, nodes %d, transferred %d\n", st.Time, st.TotalNodes, st.Dispatched)
+	if st.RacingWinner >= 0 {
+		fmt.Printf("racing   winner settings %d (%s)\n", st.RacingWinner, st.RacingWinnerName)
+	}
+}

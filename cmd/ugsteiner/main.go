@@ -1,0 +1,112 @@
+// Command ugsteiner is the parallel Steiner tree solver — the
+// ug[SCIP-Jack,*] binary. It reads a SteinLib .stp file (or generates a
+// named PUC-family analogue), runs the UG-parallelized SCIP-Jack
+// pipeline, and reports the solution plus the coordination statistics
+// the paper's tables are built from.
+//
+// Usage:
+//
+//	ugsteiner -file instance.stp -workers 8
+//	ugsteiner -instance hc6u -workers 16 -racing
+//	ugsteiner -instance bip52u -workers 8 -time 30 -checkpoint run.ckpt
+//	ugsteiner -instance bip52u -workers 8 -restart run.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/steiner"
+	"repro/internal/steiner/puc"
+	"repro/internal/ug"
+	"repro/internal/ug/comm"
+)
+
+func main() {
+	var (
+		file       = flag.String("file", "", "SteinLib .stp file to solve")
+		instance   = flag.String("instance", "", "named PUC-family analogue (cc3-4p, cc3-5u, cc5-3p, hc6u, hc6p, hc7u, hc7p, hc10p, bip52u)")
+		workers    = flag.Int("workers", 4, "number of ParaSolvers")
+		racing     = flag.Bool("racing", false, "use racing ramp-up")
+		timeLimit  = flag.Float64("time", 0, "time limit in seconds (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file to write")
+		restart    = flag.String("restart", "", "checkpoint file to restore")
+		commKind   = flag.String("comm", "channel", "communicator: channel (shared memory) or gob (serialized, MPI-like)")
+	)
+	flag.Parse()
+
+	var spg *steiner.SPG
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		spg, err = steiner.ReadSTP(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *instance != "":
+		spg = puc.Named(*instance)
+		if spg == nil {
+			fatal(fmt.Errorf("unknown instance %q", *instance))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := ug.Config{
+		Workers:        *workers,
+		TimeLimit:      *timeLimit,
+		CheckpointPath: *checkpoint,
+		RestartFrom:    *restart,
+	}
+	if *racing {
+		cfg.RampUp = ug.RampUpRacing
+		cfg.RacingTime = 0.5
+	}
+	if *commKind == "gob" {
+		cfg.Comm = comm.NewGobComm(*workers + 1)
+	}
+
+	fmt.Printf("instance %s: %d vertices, %d edges, %d terminals\n",
+		spg.Name, spg.G.AliveVertices(), spg.G.AliveEdges(), spg.NumTerminals())
+	res, factory, err := core.SolveParallel(steiner.NewApp(spg), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	report(res, factory.ObjOffset())
+}
+
+func report(res *ug.Result, offset float64) {
+	st := res.Stats
+	switch {
+	case res.Optimal:
+		fmt.Printf("status   optimal\nobjective %.6g\n", res.Obj+offset)
+	case res.Infeasible:
+		fmt.Println("status   infeasible")
+	default:
+		fmt.Printf("status   interrupted\nprimal   %.6g\ndual     %.6g\n",
+			st.FinalPrimal+offset, st.FinalDual+offset)
+	}
+	fmt.Printf("time     %.2fs (root %.2fs)\n", st.Time, st.RootTime)
+	fmt.Printf("nodes    %d total, %d open at end, %d transferred, %d collected\n",
+		st.TotalNodes, st.OpenAtEnd, st.Dispatched, st.Collected)
+	fmt.Printf("solvers  max active %d (first at %.2fs)\n", st.MaxActive, st.FirstMaxActiveTime)
+	if st.RacingWinner >= 0 {
+		fmt.Printf("racing   winner settings %d (%s), solved in racing: %v\n",
+			st.RacingWinner, st.RacingWinnerName, st.SolvedInRacing)
+	}
+	for i, r := range st.IdleRatio {
+		fmt.Printf("idle[%d]  %.1f%%\n", i+1, 100*r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ugsteiner:", err)
+	os.Exit(1)
+}

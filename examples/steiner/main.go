@@ -1,0 +1,66 @@
+// Steiner example: solve a PUC-family instance with ug[SCIP-Jack,*],
+// demonstrating the two phenomena the paper's Tables 2 and 3 study —
+// checkpoint/restart (only primitive nodes are persisted) and restarting
+// with a known solution. The run is deliberately time-limited so the
+// checkpoint machinery engages, then restarted to completion.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/steiner"
+	"repro/internal/steiner/puc"
+	"repro/internal/ug"
+)
+
+func main() {
+	inst := puc.Named("cc3-5u")
+	fmt.Printf("instance %s: %d vertices, %d edges, %d terminals\n",
+		inst.Name, inst.G.AliveVertices(), inst.G.AliveEdges(), inst.NumTerminals())
+
+	dir, err := os.MkdirTemp("", "ugsteiner")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	// Run 1: tight time limit; the coordinator checkpoints primitive nodes.
+	res1, f1, err := core.SolveParallel(steiner.NewApp(inst.Clone()), ug.Config{
+		Workers:         4,
+		TimeLimit:       0.5,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 0.1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("run 1: optimal=%v primal=%.0f dual=%.0f openAtEnd=%d\n",
+		res1.Optimal, res1.Stats.FinalPrimal+f1.ObjOffset(),
+		res1.Stats.FinalDual+f1.ObjOffset(), res1.Stats.OpenAtEnd)
+
+	if res1.Optimal {
+		fmt.Printf("solved within the first run: %.0f\n", res1.Obj+f1.ObjOffset())
+		return
+	}
+	ck, err := ug.LoadCheckpointInfo(ckpt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("checkpoint holds %d primitive nodes (of %d open at shutdown)\n",
+		len(ck.Pool), res1.Stats.OpenAtEnd)
+
+	// Run 2: restart from the checkpoint and finish.
+	res2, f2, err := core.SolveParallel(steiner.NewApp(inst.Clone()), ug.Config{
+		Workers:     4,
+		RestartFrom: ckpt,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("run 2 (restarted): optimal=%v objective=%.0f nodes=%d\n",
+		res2.Optimal, res2.Obj+f2.ObjOffset(), res2.Stats.TotalNodes)
+}

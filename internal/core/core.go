@@ -1,0 +1,202 @@
+// Package core is the ug[SCIP-*,*] glue layer: it adapts any customized
+// scip-based solver — described as problem data, a ProblemDef, and a set
+// of plugin constructors — to the UG framework's SolverFactory, so that
+// the solver can be parallelized without touching either the solver or
+// UG. This mirrors the paper's ScipUserPlugins mechanism: the per-problem
+// registration files (internal/steiner/plugins.go and
+// internal/misdp/plugins.go) stay under 200 lines, matching the paper's
+// headline measurement for stp_plugins.cpp and misdp_plugins.cpp.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/scip"
+	"repro/internal/ug"
+)
+
+// App describes a customized SCIP solver in plugin form.
+type App struct {
+	Name string
+	// Def owns problem-data lifecycle (presolve, model build, decisions).
+	Def scip.ProblemDef
+	// Data is the original problem data.
+	Data any
+	// MakePlugins constructs a fresh plugin set (plugins may carry
+	// per-solver state, so each ParaSolver gets its own).
+	MakePlugins func() *scip.Plugins
+	// Settings is the racing settings ladder; Settings[0] is the default
+	// configuration used outside racing. Empty means a single default.
+	Settings []scip.Settings
+}
+
+// Factory implements ug.SolverFactory over an App.
+type Factory struct {
+	app       App
+	presolved *scip.Prob
+	objOffset float64
+}
+
+// NewFactory wraps an App for ug.Run.
+func NewFactory(app App) *Factory {
+	if len(app.Settings) == 0 {
+		app.Settings = []scip.Settings{scip.DefaultSettings()}
+	}
+	if app.MakePlugins == nil {
+		app.MakePlugins = func() *scip.Plugins { return &scip.Plugins{} }
+	}
+	return &Factory{app: app}
+}
+
+// GlobalPresolve implements ug.SolverFactory: it presolves the instance
+// once in the LoadCoordinator and builds the shared model all ParaSolvers
+// solve (the outer layer of the paper's layered presolving; the inner
+// layer happens when each ParaSolver re-reduces received subproblems).
+func (f *Factory) GlobalPresolve() ([]byte, *ug.Solution, error) {
+	data := f.app.Data
+	if f.app.Def != nil {
+		data = f.app.Def.CloneData(data)
+		data, f.objOffset = f.app.Def.Presolve(data, scip.Infinity)
+		f.presolved = f.app.Def.BuildModel(data)
+	} else {
+		prob, ok := data.(*scip.Prob)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: app %q has no ProblemDef and data is %T, not *scip.Prob", f.app.Name, data)
+		}
+		f.presolved = prob
+	}
+	root, err := scip.EncodeSubprob(&scip.Subprob{Bound: negInf})
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, nil, nil
+}
+
+// ObjOffset returns the objective offset accumulated by global
+// presolving; original-space objective = model objective + offset.
+func (f *Factory) ObjOffset() float64 { return f.objOffset }
+
+// Presolved returns the shared presolved model (available after
+// GlobalPresolve).
+func (f *Factory) Presolved() *scip.Prob { return f.presolved }
+
+// NumSettings implements ug.SolverFactory.
+func (f *Factory) NumSettings() int { return len(f.app.Settings) }
+
+// SettingsName implements ug.SolverFactory.
+func (f *Factory) SettingsName(idx int) string {
+	s := f.app.Settings[idx]
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("settings-%d", idx)
+}
+
+// CreateWorker implements ug.SolverFactory.
+func (f *Factory) CreateWorker(settingsIdx int) ug.WorkerSolver {
+	if settingsIdx < 0 || settingsIdx >= len(f.app.Settings) {
+		settingsIdx = 0
+	}
+	return &worker{f: f, set: f.app.Settings[settingsIdx]}
+}
+
+var negInf = -scip.Infinity
+
+// worker wraps one scip solver instance as a UG ParaSolver.
+type worker struct {
+	f   *Factory
+	set scip.Settings
+}
+
+// Solve implements ug.WorkerSolver: it decodes the subproblem, solves it
+// with a fresh scip solver, and services the UG session from the
+// solver's per-node Poll hook (Algorithm 2's periodic communication).
+func (w *worker) Solve(sub *ug.Subproblem, sess *ug.Session) ug.Outcome {
+	sp, err := scip.DecodeSubprob(sub.Payload)
+	if err != nil {
+		return ug.Outcome{}
+	}
+	s := scip.NewSolver(w.f.presolved, w.set, w.f.app.MakePlugins())
+	lastObj := scip.Infinity
+	if inc := sess.InitialIncumbent(); inc != nil {
+		if sol, err := scip.DecodeSol(inc.Payload); err == nil && s.InjectSolution(sol) {
+			lastObj = sol.Obj
+		}
+	}
+	reportIncumbent := func() {
+		inc := s.Incumbent()
+		if inc == nil || inc.Obj >= lastObj-1e-12 {
+			return
+		}
+		lastObj = inc.Obj
+		if payload, err := scip.EncodeSol(inc); err == nil {
+			sess.FoundSolution(ug.Solution{Obj: inc.Obj, Payload: payload})
+		}
+	}
+	ship := func(nsp *scip.Subprob) {
+		payload, err := scip.EncodeSubprob(nsp)
+		if err != nil {
+			return
+		}
+		sess.ShipNode(ug.Subproblem{Depth: nsp.Depth, Bound: nsp.Bound, Payload: payload})
+	}
+	s.Poll = func(sv *scip.Solver) bool {
+		reportIncumbent()
+		cmd := sess.Poll(ug.StatusReport{
+			Bound:    sv.BestBound(),
+			Open:     sv.NumOpen(),
+			Nodes:    sv.Stats.Nodes,
+			RootTime: sv.Stats.RootTime,
+		})
+		for _, sol := range cmd.Solutions {
+			if dsol, err := scip.DecodeSol(sol.Payload); err == nil {
+				s.InjectSolution(dsol)
+				if dsol.Obj < lastObj {
+					lastObj = dsol.Obj
+				}
+			}
+		}
+		if cmd.ExtractAll {
+			for _, nsp := range sv.ExtractAllOpen() {
+				ship(nsp)
+			}
+			return false
+		}
+		if cmd.WantNode {
+			if nsp := sv.ExtractBestOpen(); nsp != nil {
+				ship(nsp)
+			}
+		}
+		return !cmd.Stop
+	}
+	st := s.SolveSubprob(sp)
+	reportIncumbent()
+	return ug.Outcome{
+		Completed: st == scip.StatusOptimal || st == scip.StatusInfeasible,
+		Nodes:     s.Stats.Nodes,
+		OpenLeft:  s.NumOpen(),
+		RootTime:  s.Stats.RootTime,
+	}
+}
+
+// SolveParallel is the one-call entry point: build the factory, run UG.
+func SolveParallel(app App, cfg ug.Config) (*ug.Result, *Factory, error) {
+	f := NewFactory(app)
+	res, err := ug.Run(f, cfg)
+	return res, f, err
+}
+
+// SolveSequential runs the plain customized solver (no UG) — the
+// baseline the paper's tables compare against.
+func SolveSequential(app App, set scip.Settings) (*scip.Solver, scip.Status, float64) {
+	f := NewFactory(app)
+	if _, _, err := f.GlobalPresolve(); err != nil {
+		panic(err)
+	}
+	if len(app.Settings) > 0 {
+		// keep provided settings ladder but use the requested one
+	}
+	s := scip.NewSolver(f.presolved, set, f.app.MakePlugins())
+	st := s.Solve()
+	return s, st, f.objOffset
+}

@@ -1,0 +1,174 @@
+// Package graph provides the undirected-graph substrate for the Steiner
+// tree solver: mutable adjacency structures supporting the edge/vertex
+// deletions that reduction techniques perform, plus Dijkstra shortest
+// paths, minimum spanning trees and union–find.
+package graph
+
+import "fmt"
+
+// Edge is one undirected edge.
+type Edge struct {
+	U, V int
+	Cost float64
+}
+
+// Graph is an undirected multigraph with lazy deletion: edges and
+// vertices carry alive flags so that reduction techniques can delete in
+// O(1) and iterate cheaply. Adjacency lists keep indices of incident
+// edges (including dead ones, skipped during iteration).
+type Graph struct {
+	Edges    []Edge
+	edgeDead []bool
+	vertDead []bool
+	adj      [][]int
+	nAlive   int // alive vertices
+	mAlive   int // alive edges
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	return &Graph{
+		vertDead: make([]bool, n),
+		adj:      make([][]int, n),
+		nAlive:   n,
+	}
+}
+
+// NumVertices returns the total vertex count (alive and dead).
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the total edge count (alive and dead).
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// AliveVertices returns the number of alive vertices.
+func (g *Graph) AliveVertices() int { return g.nAlive }
+
+// AliveEdges returns the number of alive edges.
+func (g *Graph) AliveEdges() int { return g.mAlive }
+
+// AddVertex appends a new vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	g.vertDead = append(g.vertDead, false)
+	g.nAlive++
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts an undirected edge and returns its index.
+func (g *Graph) AddEdge(u, v int, cost float64) int {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	e := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{U: u, V: v, Cost: cost})
+	g.edgeDead = append(g.edgeDead, false)
+	g.adj[u] = append(g.adj[u], e)
+	g.adj[v] = append(g.adj[v], e)
+	g.mAlive++
+	return e
+}
+
+// EdgeAlive reports whether edge e is alive.
+func (g *Graph) EdgeAlive(e int) bool { return !g.edgeDead[e] }
+
+// VertexAlive reports whether vertex v is alive.
+func (g *Graph) VertexAlive(v int) bool { return !g.vertDead[v] }
+
+// DeleteEdge marks edge e dead.
+func (g *Graph) DeleteEdge(e int) {
+	if !g.edgeDead[e] {
+		g.edgeDead[e] = true
+		g.mAlive--
+	}
+}
+
+// DeleteVertex marks vertex v and all incident edges dead.
+func (g *Graph) DeleteVertex(v int) {
+	if g.vertDead[v] {
+		return
+	}
+	g.vertDead[v] = true
+	g.nAlive--
+	for _, e := range g.adj[v] {
+		g.DeleteEdge(e)
+	}
+}
+
+// Adj calls fn for every alive edge incident to v, passing the edge index
+// and the opposite endpoint. Iteration stops if fn returns false.
+func (g *Graph) Adj(v int, fn func(e, w int) bool) {
+	for _, e := range g.adj[v] {
+		if g.edgeDead[e] {
+			continue
+		}
+		ed := g.Edges[e]
+		w := ed.U
+		if w == v {
+			w = ed.V
+		}
+		if !fn(e, w) {
+			return
+		}
+	}
+}
+
+// Degree returns the alive degree of v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	g.Adj(v, func(e, w int) bool { d++; return true })
+	return d
+}
+
+// Other returns the endpoint of edge e opposite to v.
+func (g *Graph) Other(e, v int) int {
+	ed := g.Edges[e]
+	if ed.U == v {
+		return ed.V
+	}
+	return ed.U
+}
+
+// Cost returns the cost of edge e.
+func (g *Graph) Cost(e int) float64 { return g.Edges[e].Cost }
+
+// SetCost updates the cost of edge e.
+func (g *Graph) SetCost(e int, c float64) { g.Edges[e].Cost = c }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Edges:    append([]Edge(nil), g.Edges...),
+		edgeDead: append([]bool(nil), g.edgeDead...),
+		vertDead: append([]bool(nil), g.vertDead...),
+		adj:      make([][]int, len(g.adj)),
+		nAlive:   g.nAlive,
+		mAlive:   g.mAlive,
+	}
+	for v, a := range g.adj {
+		c.adj[v] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// ConnectedComponent returns the set of vertices reachable from start in
+// the alive subgraph, as a boolean mask.
+func (g *Graph) ConnectedComponent(start int) []bool {
+	seen := make([]bool, g.NumVertices())
+	if g.vertDead[start] {
+		return seen
+	}
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.Adj(v, func(e, w int) bool {
+			if !seen[w] && !g.vertDead[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+			return true
+		})
+	}
+	return seen
+}

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix has a
+// non-positive pivot, i.e. it is not (numerically) positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Chol holds a lower-triangular Cholesky factor L with S = L Lᵀ.
+type Chol struct {
+	N int
+	L []float64 // row-major lower triangle (full storage, upper part zero)
+}
+
+// Cholesky factorizes a symmetric positive definite matrix. It returns
+// ErrNotPositiveDefinite if a pivot falls below tol (a relative floor
+// derived from the matrix scale).
+func Cholesky(s *Sym) (*Chol, error) {
+	n := s.N
+	l := make([]float64, n*n)
+	scale := s.MaxAbs()
+	if scale == 0 {
+		return nil, ErrNotPositiveDefinite
+	}
+	tol := 1e-13 * scale
+	for j := 0; j < n; j++ {
+		d := s.A[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l[j*n+k] * l[j*n+k]
+		}
+		if d <= tol {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			v := s.A[i*n+j]
+			for k := 0; k < j; k++ {
+				v -= l[i*n+k] * l[j*n+k]
+			}
+			l[i*n+j] = v / ljj
+		}
+	}
+	return &Chol{N: n, L: l}, nil
+}
+
+// Solve solves S x = b given the factorization of S.
+func (c *Chol) Solve(b []float64) []float64 {
+	n := c.N
+	// Forward: L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := b[i]
+		for k := 0; k < i; k++ {
+			v -= c.L[i*n+k] * z[k]
+		}
+		z[i] = v / c.L[i*n+i]
+	}
+	// Backward: Lᵀ x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := z[i]
+		for k := i + 1; k < n; k++ {
+			v -= c.L[k*n+i] * x[k]
+		}
+		x[i] = v / c.L[i*n+i]
+	}
+	return x
+}
+
+// LogDet returns log det S = 2 Σ log L_ii.
+func (c *Chol) LogDet() float64 {
+	var ld float64
+	for i := 0; i < c.N; i++ {
+		ld += math.Log(c.L[i*c.N+i])
+	}
+	return 2 * ld
+}
+
+// Inverse returns S⁻¹ as a symmetric matrix by solving against unit
+// vectors. O(n³) but adequate for the matrix orders in this study.
+func (c *Chol) Inverse() *Sym {
+	n := c.N
+	inv := NewSym(n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := c.Solve(e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.A[i*n+j] = col[i]
+		}
+	}
+	// Symmetrize to wash out round-off asymmetry.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (inv.A[i*n+j] + inv.A[j*n+i])
+			inv.A[i*n+j] = v
+			inv.A[j*n+i] = v
+		}
+	}
+	return inv
+}
+
+// IsPSD reports whether S + shift*I is positive semidefinite, tested via
+// Cholesky of S + (shift+jitter)*I with a tiny jitter for semidefinite
+// boundary cases.
+func IsPSD(s *Sym, shift float64) bool {
+	t := s.Clone()
+	jitter := 1e-9 * (1 + s.MaxAbs())
+	for i := 0; i < t.N; i++ {
+		t.A[i*t.N+i] += shift + jitter
+	}
+	_, err := Cholesky(t)
+	return err == nil
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has a (numerically)
+// singular coefficient matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// LU holds an LU factorization with partial pivoting of a square matrix.
+type LU struct {
+	n    int
+	lu   []float64
+	perm []int
+}
+
+// FactorLU factorizes a dense row-major n×n matrix with partial pivoting.
+func FactorLU(n int, m []float64) (*LU, error) {
+	lu := make([]float64, n*n)
+	copy(lu, m)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		p := col
+		best := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu[r*n+col]); a > best {
+				best = a
+				p = r
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for k := 0; k < n; k++ {
+				lu[p*n+k], lu[col*n+k] = lu[col*n+k], lu[p*n+k]
+			}
+			perm[p], perm[col] = perm[col], perm[p]
+		}
+		piv := lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] / piv
+			lu[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			for k := col + 1; k < n; k++ {
+				lu[r*n+k] -= f * lu[col*n+k]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, perm: perm}, nil
+}
+
+// Solve solves M x = b.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		v := x[i]
+		for k := 0; k < i; k++ {
+			v -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = v
+	}
+	// Backward substitution.
+	for i := n - 1; i >= 0; i-- {
+		v := x[i]
+		for k := i + 1; k < n; k++ {
+			v -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = v / f.lu[i*n+i]
+	}
+	return x
+}
+
+// SolveDense solves M x = b for a dense row-major square matrix in one
+// call, factorizing internally.
+func SolveDense(n int, m, b []float64) ([]float64, error) {
+	f, err := FactorLU(n, m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

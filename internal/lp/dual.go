@@ -1,0 +1,125 @@
+package lp
+
+import "math"
+
+// dualSimplex restores primal feasibility from a dual feasible basis.
+// This is the re-solve path after cutting planes are added or variable
+// bounds are tightened during branch-and-bound: both operations keep the
+// previous optimal basis dual feasible while possibly making it primal
+// infeasible. Reduced costs are maintained incrementally (refreshed
+// after refactorizations) so an iteration costs O(Σnnz + m) plus the
+// O(m²) ftran/pivot work.
+func (s *Solver) dualSimplex() Status {
+	limit := s.maxIters()
+	s.refreshPricing()
+	for {
+		if s.iters >= limit {
+			return IterLimit
+		}
+		s.iters++
+		if !s.dValid {
+			s.refreshPricing()
+		}
+		// Leaving variable: most violated basic.
+		r := -1
+		var viol float64
+		var below bool
+		for i, j := range s.basis {
+			if v := s.lo[j] - s.xb[i]; v > viol+1e-12 {
+				viol = v
+				r = i
+				below = true
+			}
+			if v := s.xb[i] - s.up[j]; v > viol+1e-12 {
+				viol = v
+				r = i
+				below = false
+			}
+		}
+		if r < 0 || viol <= feasTol {
+			return Optimal
+		}
+		alpha := s.alphaRow(r)
+		total := s.n + s.m
+		enter := -1
+		bestRatio := math.Inf(1)
+		var bestAlpha float64
+		for j := 0; j < total; j++ {
+			if s.state[j] == stBasic {
+				continue
+			}
+			aj := alpha[j]
+			if math.Abs(aj) < pivotTol {
+				continue
+			}
+			// Admissibility: increasing x_B(r) (below) requires the entering
+			// movement direction dir with dir·α < 0; decreasing requires
+			// dir·α > 0. Nonbasic at lower moves with dir=+1, at upper with
+			// dir=−1, free either way.
+			ok := false
+			switch s.state[j] {
+			case stLower:
+				ok = (below && aj < 0) || (!below && aj > 0)
+			case stUpper:
+				ok = (below && aj > 0) || (!below && aj < 0)
+			case stFree:
+				ok = true
+			}
+			if !ok {
+				continue
+			}
+			ratio := math.Abs(s.d[j]) / math.Abs(aj)
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && math.Abs(aj) > math.Abs(bestAlpha)) {
+				bestRatio = ratio
+				enter = j
+				bestAlpha = aj
+			}
+		}
+		if enter < 0 {
+			// No entering column can repair the violated basic. Confirm
+			// with fresh reduced costs before declaring infeasibility.
+			return Infeasible
+		}
+		// Step: move entering so that x_B(r) lands exactly on its violated
+		// bound.
+		var dir float64
+		switch s.state[enter] {
+		case stLower:
+			dir = +1
+		case stUpper:
+			dir = -1
+		default: // free: pick direction that moves x_B(r) the right way
+			if below == (bestAlpha < 0) {
+				dir = +1
+			} else {
+				dir = -1
+			}
+		}
+		var target float64
+		var leaveState int8
+		if below {
+			target = s.lo[s.basis[r]]
+			leaveState = stLower
+		} else {
+			target = s.up[s.basis[r]]
+			leaveState = stUpper
+		}
+		// x_B(r)(t) = xb[r] − dir·α·t = target.
+		t := (s.xb[r] - target) / (dir * bestAlpha)
+		if t < 0 {
+			t = 0
+		}
+		w := s.ftran(enter)
+		leave := s.basis[r]
+		s.applyStep(enter, dir, t, w)
+		newVal := s.nonbasicValue(enter) + dir*t
+		s.pivot(r, enter, w, leaveState)
+		s.xb[r] = newVal
+		if s.pivots == 0 {
+			s.computeXB()
+		} else {
+			s.updatePricing(enter, leave, alpha)
+		}
+	}
+}

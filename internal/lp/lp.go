@@ -1,0 +1,130 @@
+// Package lp implements a self-contained linear-programming solver: a
+// bounded-variable revised simplex method with primal phase-1/phase-2,
+// a dual simplex for warm-started re-solves, and dynamic row addition
+// for cutting-plane loops. It stands in for the commercial LP engines
+// (CPLEX, SoPlex) that the original SCIP-based stack links against.
+//
+// Problems are stated as
+//
+//	min cᵀx   s.t.  aᵢᵀx {≤,=,≥} bᵢ,  lo ≤ x ≤ up,
+//
+// with ±Inf bounds allowed. Internally every row receives a slack
+// variable, turning the system into equalities with bounded variables.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the canonical infinite bound.
+var Inf = math.Inf(1)
+
+// Sense is the relational sense of a row.
+type Sense int8
+
+// Row senses.
+const (
+	LE Sense = iota // aᵀx ≤ b
+	GE              // aᵀx ≥ b
+	EQ              // aᵀx = b
+)
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iterlimit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Nonzero is one coefficient of a sparse row.
+type Nonzero struct {
+	Col int
+	Val float64
+}
+
+// Problem is an LP under construction. It is a pure description; Solver
+// snapshots it, so a Problem can be reused to spawn many solvers (one per
+// branch-and-bound worker).
+type Problem struct {
+	Obj    []float64 // objective coefficient per structural variable
+	Lo, Up []float64 // bounds per structural variable
+	Rows   []RowDef
+}
+
+// RowDef is one constraint row.
+type RowDef struct {
+	Sense Sense
+	RHS   float64
+	Coefs []Nonzero
+	Name  string
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar appends a structural variable and returns its index.
+func (p *Problem) AddVar(lo, up, obj float64) int {
+	p.Obj = append(p.Obj, obj)
+	p.Lo = append(p.Lo, lo)
+	p.Up = append(p.Up, up)
+	return len(p.Obj) - 1
+}
+
+// AddRow appends a constraint row and returns its index.
+func (p *Problem) AddRow(sense Sense, rhs float64, coefs []Nonzero) int {
+	p.Rows = append(p.Rows, RowDef{Sense: sense, RHS: rhs, Coefs: append([]Nonzero(nil), coefs...)})
+	return len(p.Rows) - 1
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return len(p.Obj) }
+
+// NumRows returns the number of rows.
+func (p *Problem) NumRows() int { return len(p.Rows) }
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		Obj:  append([]float64(nil), p.Obj...),
+		Lo:   append([]float64(nil), p.Lo...),
+		Up:   append([]float64(nil), p.Up...),
+		Rows: make([]RowDef, len(p.Rows)),
+	}
+	for i, r := range p.Rows {
+		q.Rows[i] = RowDef{Sense: r.Sense, RHS: r.RHS, Name: r.Name,
+			Coefs: append([]Nonzero(nil), r.Coefs...)}
+	}
+	return q
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status   Status
+	Obj      float64   // objective value (min sense) when Optimal
+	X        []float64 // structural variable values
+	Duals    []float64 // row duals y = c_Bᵀ B⁻¹
+	RedCosts []float64 // reduced costs of structural variables
+	Iters    int       // simplex iterations spent
+}
+
+// Value returns x_j for convenience.
+func (s *Solution) Value(j int) float64 { return s.X[j] }

@@ -1,0 +1,325 @@
+package lp
+
+import "math"
+
+// enterDir returns the admissible movement direction(s) for a nonbasic
+// column under phase-2 pricing: +1 to increase from a lower bound, −1 to
+// decrease from an upper bound; free variables move against the sign of
+// their reduced cost.
+func (s *Solver) enterDir(j int, dj float64, bland bool) (dir float64, ok bool) {
+	tol := dualTol
+	if bland {
+		tol = 1e-12
+	}
+	switch s.state[j] {
+	case stLower:
+		if dj < -tol {
+			return +1, true
+		}
+	case stUpper:
+		if dj > tol {
+			return -1, true
+		}
+	case stFree:
+		if dj < -tol {
+			return +1, true
+		}
+		if dj > tol {
+			return -1, true
+		}
+	}
+	return 0, false
+}
+
+// primalRatioTest finds the maximum step t for entering column `enter`
+// moving in direction dir, with tableau column w = B⁻¹ A_enter. It
+// returns the blocking basic row r (−1 for a bound flip of the entering
+// variable itself, −2 for unbounded) and the state the leaving variable
+// assumes.
+func (s *Solver) primalRatioTest(enter int, dir float64, w []float64) (t float64, r int, leaveState int8) {
+	t = math.Inf(1)
+	r = -2
+	// Own bound range limits the step (bound flip).
+	if rangeLen := s.up[enter] - s.lo[enter]; !math.IsInf(rangeLen, 1) {
+		t = rangeLen
+		r = -1
+	}
+	for i := 0; i < s.m; i++ {
+		delta := -dir * w[i] // rate of change of x_B(i) per unit t
+		if math.Abs(delta) < pivotTol {
+			continue
+		}
+		bj := s.basis[i]
+		var lim float64
+		var st int8
+		if delta > 0 {
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			lim = (s.up[bj] - s.xb[i]) / delta
+			st = stUpper
+		} else {
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			lim = (s.lo[bj] - s.xb[i]) / delta
+			st = stLower
+		}
+		if lim < -1e-12 {
+			lim = 0
+		}
+		if lim < t-1e-12 || (lim < t+1e-12 && r >= 0 && math.Abs(w[i]) > math.Abs(w[r])) {
+			t = lim
+			r = i
+			leaveState = st
+		}
+	}
+	return t, r, leaveState
+}
+
+// applyStep moves the entering variable by t·dir and updates basic values.
+func (s *Solver) applyStep(enter int, dir, t float64, w []float64) {
+	if t == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		s.xb[i] -= dir * t * w[i]
+	}
+	_ = enter
+}
+
+// primalPhase2 runs the bounded-variable primal simplex from a primal
+// feasible basis until optimality or unboundedness.
+func (s *Solver) primalPhase2() Status {
+	limit := s.maxIters()
+	noProgress := 0
+	justRefreshed := false
+	s.refreshPricing()
+	for {
+		if s.iters >= limit {
+			return IterLimit
+		}
+		s.iters++
+		if !s.dValid {
+			s.refreshPricing()
+		}
+		bland := noProgress > 2*(s.n+s.m)+200
+		enter := -1
+		var dir, best float64
+		total := s.n + s.m
+		for j := 0; j < total; j++ {
+			if s.state[j] == stBasic {
+				continue
+			}
+			dj := s.d[j]
+			dd, ok := s.enterDir(j, dj, bland)
+			if !ok {
+				continue
+			}
+			if bland {
+				enter, dir = j, dd
+				break
+			}
+			if v := math.Abs(dj); v > best {
+				best = v
+				enter, dir = j, dd
+			}
+		}
+		if enter < 0 {
+			// Guard against drift in the incremental pricing: confirm
+			// optimality with freshly computed reduced costs once.
+			if justRefreshed {
+				return Optimal
+			}
+			s.refreshPricing()
+			justRefreshed = true
+			continue
+		}
+		justRefreshed = false
+		w := s.ftran(enter)
+		t, r, leaveState := s.primalRatioTest(enter, dir, w)
+		switch r {
+		case -2:
+			return Unbounded
+		case -1: // bound flip: basis and duals unchanged
+			s.applyStep(enter, dir, t, w)
+			if s.state[enter] == stLower {
+				s.state[enter] = stUpper
+			} else {
+				s.state[enter] = stLower
+			}
+		default:
+			alpha := s.alphaRow(r)
+			leave := s.basis[r]
+			s.applyStep(enter, dir, t, w)
+			newVal := s.nonbasicValue(enter) + dir*t
+			s.pivot(r, enter, w, leaveState)
+			s.xb[r] = newVal
+			if s.pivots == 0 { // refactorized inside pivot
+				s.computeXB()
+			} else {
+				s.updatePricing(enter, leave, alpha)
+			}
+		}
+		if t > 1e-10 {
+			noProgress = 0
+		} else {
+			noProgress++
+		}
+	}
+}
+
+// primalPhase1 drives the total bound violation of the basic variables to
+// zero using the composite (piecewise-linear) phase-1 objective: basic
+// variables above their upper bound get cost +1, below their lower bound
+// cost −1. Returns Optimal when a primal feasible basis is found,
+// Infeasible when the phase-1 optimum is positive.
+func (s *Solver) primalPhase1() Status {
+	limit := s.maxIters()
+	noProgress := 0
+	for {
+		if s.iters >= limit {
+			return IterLimit
+		}
+		s.iters++
+		inf := s.primalInfeasibility()
+		if inf <= feasTol {
+			return Optimal
+		}
+		// Phase-1 cost on basics.
+		cb := make([]float64, s.m)
+		for i, j := range s.basis {
+			if s.xb[i] > s.up[j]+feasTol {
+				cb[i] = 1
+			} else if s.xb[i] < s.lo[j]-feasTol {
+				cb[i] = -1
+			}
+		}
+		y := s.btran(cb)
+		bland := noProgress > 2*(s.n+s.m)+200
+		// Price nonbasic columns: d_j = −yᵀA_j (phase-1 costs of nonbasics
+		// are zero).
+		enter := -1
+		var dir, best float64
+		total := s.n + s.m
+		for j := 0; j < total; j++ {
+			if s.state[j] == stBasic {
+				continue
+			}
+			var yaj float64
+			if j < s.n {
+				for _, e := range s.cols[j] {
+					yaj += y[e.row] * e.val
+				}
+			} else {
+				yaj = y[j-s.n]
+			}
+			dj := -yaj
+			dd, ok := s.enterDir(j, dj, bland)
+			if !ok {
+				continue
+			}
+			if bland {
+				enter, dir = j, dd
+				break
+			}
+			if v := math.Abs(dj); v > best {
+				best = v
+				enter, dir = j, dd
+			}
+		}
+		if enter < 0 {
+			return Infeasible
+		}
+		w := s.ftran(enter)
+		t, r, leaveState := s.phase1RatioTest(enter, dir, w)
+		if r == -2 {
+			// The phase-1 objective is bounded below by 0, so an unbounded
+			// ray cannot occur with a correct blocking rule; report as a
+			// numerical failure rather than claiming infeasibility.
+			return IterLimit
+		}
+		if r == -1 {
+			s.applyStep(enter, dir, t, w)
+			if s.state[enter] == stLower {
+				s.state[enter] = stUpper
+			} else {
+				s.state[enter] = stLower
+			}
+		} else {
+			s.applyStep(enter, dir, t, w)
+			newVal := s.nonbasicValue(enter) + dir*t
+			s.pivot(r, enter, w, leaveState)
+			s.xb[r] = newVal
+			if s.pivots == 0 {
+				s.computeXB()
+			}
+		}
+		if t > 1e-10 {
+			noProgress = 0
+		} else {
+			noProgress++
+		}
+	}
+}
+
+// phase1RatioTest is the phase-1 variant of the ratio test: currently
+// infeasible basic variables block only at the bound they violate (at
+// which point they become feasible); feasible basics block as usual.
+func (s *Solver) phase1RatioTest(enter int, dir float64, w []float64) (t float64, r int, leaveState int8) {
+	t = math.Inf(1)
+	r = -2
+	if rangeLen := s.up[enter] - s.lo[enter]; !math.IsInf(rangeLen, 1) {
+		t = rangeLen
+		r = -1
+	}
+	for i := 0; i < s.m; i++ {
+		delta := -dir * w[i]
+		if math.Abs(delta) < pivotTol {
+			continue
+		}
+		bj := s.basis[i]
+		xi := s.xb[i]
+		var lim float64
+		var st int8
+		switch {
+		case xi > s.up[bj]+feasTol: // infeasible above
+			if delta < 0 { // moving down: blocks when reaching upper bound
+				lim = (s.up[bj] - xi) / delta
+				st = stUpper
+			} else {
+				continue // moving further up: no block (cost handles it)
+			}
+		case xi < s.lo[bj]-feasTol: // infeasible below
+			if delta > 0 {
+				lim = (s.lo[bj] - xi) / delta
+				st = stLower
+			} else {
+				continue
+			}
+		default: // feasible: standard blocking
+			if delta > 0 {
+				if math.IsInf(s.up[bj], 1) {
+					continue
+				}
+				lim = (s.up[bj] - xi) / delta
+				st = stUpper
+			} else {
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				lim = (s.lo[bj] - xi) / delta
+				st = stLower
+			}
+		}
+		if lim < -1e-12 {
+			lim = 0
+		}
+		if lim < t-1e-12 || (lim < t+1e-12 && r >= 0 && math.Abs(w[i]) > math.Abs(w[r])) {
+			t = lim
+			r = i
+			leaveState = st
+		}
+	}
+	return t, r, leaveState
+}

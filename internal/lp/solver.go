@@ -1,0 +1,624 @@
+package lp
+
+import (
+	"math"
+)
+
+// Variable states in the simplex dictionary.
+const (
+	stBasic int8 = iota
+	stLower      // nonbasic at lower bound (or pegged at 0 when lo = -Inf, up = +Inf)
+	stUpper      // nonbasic at upper bound
+	stFree       // nonbasic free variable, value 0
+)
+
+const (
+	feasTol  = 1e-8 // primal feasibility tolerance
+	dualTol  = 1e-8 // dual feasibility (reduced-cost) tolerance
+	pivotTol = 1e-9 // minimum admissible pivot magnitude
+)
+
+// Solver is a simplex instance over a snapshot of a Problem. It keeps a
+// factorized basis across calls so that the cutting-plane loop (AddRow +
+// Solve) and branch-and-bound (SetBound + Solve) re-solve with the dual
+// simplex instead of starting from scratch.
+type Solver struct {
+	m, n int // rows, structural columns
+
+	// Computational form: [A | I_slack] x = b, lo ≤ x ≤ up over n+m cols.
+	cols  [][]colEntry // sparse structural columns
+	b     []float64
+	c     []float64 // length n+m (slack costs 0)
+	lo    []float64
+	up    []float64
+	sense []Sense
+
+	basis    []int // basis[i] = column basic in row i
+	state    []int8
+	binv     [][]float64 // dense basis inverse, m×m
+	xb       []float64   // basic variable values
+	hasBasis bool
+
+	// MaxIters bounds a single Solve call; 0 means the default.
+	MaxIters int
+
+	pivots int // pivots since last refactorization
+	iters  int
+
+	// d caches reduced costs for incremental pricing; dValid marks it
+	// current (invalidated by refactorization and structural changes).
+	d      []float64
+	dValid bool
+}
+
+// alphaRow computes α_j = (e_rᵀ B⁻¹) A_j for every column (the pivot row
+// of the full tableau), in O(Σnnz + m) using the sparse columns.
+func (s *Solver) alphaRow(r int) []float64 {
+	er := s.binv[r]
+	total := s.n + s.m
+	alpha := make([]float64, total)
+	for j := 0; j < s.n; j++ {
+		var acc float64
+		for _, e := range s.cols[j] {
+			acc += er[e.row] * e.val
+		}
+		alpha[j] = acc
+	}
+	for i := 0; i < s.m; i++ {
+		alpha[s.n+i] = er[i]
+	}
+	return alpha
+}
+
+// updatePricing applies the standard reduced-cost update after a pivot:
+// d'_j = d_j − θ·α_j with θ = d_enter/α_enter. Must be called with the
+// pre-pivot alpha row.
+func (s *Solver) updatePricing(enter, leave int, alpha []float64) {
+	if !s.dValid {
+		return
+	}
+	theta := s.d[enter] / alpha[enter]
+	if theta != 0 {
+		for j := range s.d {
+			s.d[j] -= theta * alpha[j]
+		}
+	}
+	s.d[enter] = 0
+	s.d[leave] = -theta
+}
+
+// refreshPricing (re)computes the cached reduced costs from scratch.
+func (s *Solver) refreshPricing() {
+	d, _ := s.reducedCosts()
+	s.d = d
+	s.dValid = true
+}
+
+// NewSolver snapshots prob into a solver.
+func NewSolver(prob *Problem) *Solver {
+	n := prob.NumVars()
+	m := prob.NumRows()
+	s := &Solver{m: 0, n: n}
+	s.c = append([]float64(nil), prob.Obj...)
+	s.lo = append([]float64(nil), prob.Lo...)
+	s.up = append([]float64(nil), prob.Up...)
+	s.cols = make([][]colEntry, n)
+	for i := 0; i < m; i++ {
+		r := prob.Rows[i]
+		s.AddRow(r.Sense, r.RHS, r.Coefs)
+	}
+	return s
+}
+
+// NumRows returns the current number of rows (including added cuts).
+func (s *Solver) NumRows() int { return s.m }
+
+// NumVars returns the number of structural variables.
+func (s *Solver) NumVars() int { return s.n }
+
+// slackBounds returns the bounds of the slack for a given row sense,
+// using the convention aᵀx + slack = b.
+func slackBounds(sense Sense) (lo, up float64) {
+	switch sense {
+	case LE:
+		return 0, Inf
+	case GE:
+		return math.Inf(-1), 0
+	default: // EQ
+		return 0, 0
+	}
+}
+
+// AddRow appends a row aᵀx {≤,=,≥} rhs. The new slack variable enters the
+// basis, which preserves dual feasibility of an optimal basis, so the next
+// Solve can proceed with the dual simplex.
+func (s *Solver) AddRow(sense Sense, rhs float64, coefs []Nonzero) int {
+	row := s.m
+	s.m++
+	s.b = append(s.b, rhs)
+	s.sense = append(s.sense, sense)
+	// Extend structural columns with the new row's coefficients
+	// (accumulating duplicates).
+	touched := map[int]float64{}
+	for _, nz := range coefs {
+		touched[nz.Col] += nz.Val
+	}
+	for j, v := range touched {
+		if v != 0 {
+			s.cols[j] = append(s.cols[j], colEntry{row: row, val: v})
+		}
+	}
+	// Slack column: previous slacks gain a zero entry implicitly because
+	// slack columns are unit vectors; we track slacks positionally (slack
+	// of row i is column n+i) and synthesize the column on demand.
+	slo, sup := slackBounds(sense)
+	s.lo = append(s.lo, slo)
+	s.up = append(s.up, sup)
+	s.c = append(s.c, 0)
+	s.state = append(s.state, stBasic)
+	s.dValid = false
+	if s.hasBasis {
+		// Grow the basis with the new slack and extend B⁻¹: new basis is
+		// [[B,0],[eᵣ?,1]] — since the slack column is a unit vector in the
+		// new row only, B⁻¹ extends by computing the new bottom row.
+		s.basis = append(s.basis, s.n+s.m-1)
+		for i := range s.binv {
+			s.binv[i] = append(s.binv[i], 0)
+		}
+		newRow := make([]float64, s.m)
+		// New row of B is [a_{B(0)},...,a_{B(m-2)}, 1] restricted to the new
+		// constraint row; eliminate using existing B⁻¹:
+		// B⁻¹_new bottom row = e_new - Σ_k a_k · (B⁻¹ rows).
+		for i := 0; i < s.m-1; i++ {
+			aj := s.entryAt(s.basis[i], s.m-1)
+			if aj == 0 {
+				continue
+			}
+			for k := 0; k < s.m-1; k++ {
+				newRow[k] -= aj * s.binv[i][k]
+			}
+		}
+		newRow[s.m-1] = 1
+		s.binv = append(s.binv, newRow)
+		s.xb = append(s.xb, 0)
+	}
+	return row
+}
+
+// SetBound updates the bounds of a structural variable. Nonbasic variables
+// pegged to a moved bound keep their state; the next Solve repairs any
+// primal infeasibility with the dual simplex.
+func (s *Solver) SetBound(j int, lo, up float64) {
+	s.lo[j] = lo
+	s.up[j] = up
+	if !s.hasBasis {
+		return
+	}
+	switch s.state[j] {
+	case stLower:
+		if math.IsInf(lo, -1) {
+			if math.IsInf(up, 1) {
+				s.state[j] = stFree
+			} else {
+				s.state[j] = stUpper
+			}
+		}
+	case stUpper:
+		if math.IsInf(up, 1) {
+			if math.IsInf(lo, -1) {
+				s.state[j] = stFree
+			} else {
+				s.state[j] = stLower
+			}
+		}
+	case stFree:
+		if !math.IsInf(lo, -1) {
+			s.state[j] = stLower
+		} else if !math.IsInf(up, 1) {
+			s.state[j] = stUpper
+		}
+	}
+}
+
+// Bounds returns the current bounds of structural variable j.
+func (s *Solver) Bounds(j int) (lo, up float64) { return s.lo[j], s.up[j] }
+
+// SetRowEnabled toggles row i: a disabled row's slack becomes free, so
+// the row can never bind. This implements locally-valid cutting planes in
+// branch and bound: cuts separated in a subtree are enabled only while a
+// node of that subtree is active.
+func (s *Solver) SetRowEnabled(i int, enabled bool) {
+	j := s.n + i
+	if enabled {
+		slo, sup := slackBounds(s.sense[i])
+		s.lo[j], s.up[j] = slo, sup
+		if s.hasBasis && s.state[j] != stBasic {
+			// Re-peg the slack to an existing bound.
+			if math.IsInf(slo, -1) && !math.IsInf(sup, 1) {
+				s.state[j] = stUpper
+			} else {
+				s.state[j] = stLower
+			}
+		}
+	} else {
+		s.lo[j], s.up[j] = math.Inf(-1), Inf
+		if s.hasBasis && s.state[j] != stBasic {
+			s.state[j] = stFree
+		}
+	}
+}
+
+// RowEnabled reports whether row i is enabled.
+func (s *Solver) RowEnabled(i int) bool {
+	j := s.n + i
+	return !(math.IsInf(s.lo[j], -1) && math.IsInf(s.up[j], 1))
+}
+
+// SetObj updates an objective coefficient. An optimal basis stays primal
+// feasible, so the next Solve runs primal phase 2 from it.
+func (s *Solver) SetObj(j int, c float64) {
+	s.c[j] = c
+	s.dValid = false
+}
+
+// colEntry is one nonzero of a sparse structural column.
+type colEntry struct {
+	row int
+	val float64
+}
+
+// entryAt returns entry (row) of column j, synthesizing slack unit
+// columns (column n+i is the unit vector eᵢ).
+func (s *Solver) entryAt(j, row int) float64 {
+	if j < s.n {
+		for _, e := range s.cols[j] {
+			if e.row == row {
+				return e.val
+			}
+		}
+		return 0
+	}
+	if j-s.n == row {
+		return 1
+	}
+	return 0
+}
+
+// ftran computes w = B⁻¹ A_j.
+func (s *Solver) ftran(j int) []float64 {
+	w := make([]float64, s.m)
+	if j >= s.n {
+		r := j - s.n
+		for i := 0; i < s.m; i++ {
+			w[i] = s.binv[i][r]
+		}
+		return w
+	}
+	for i := 0; i < s.m; i++ {
+		var acc float64
+		bi := s.binv[i]
+		for _, e := range s.cols[j] {
+			acc += bi[e.row] * e.val
+		}
+		w[i] = acc
+	}
+	return w
+}
+
+// btran computes yᵀ = vᵀ B⁻¹ for a length-m vector v.
+func (s *Solver) btran(v []float64) []float64 {
+	y := make([]float64, s.m)
+	for k := 0; k < s.m; k++ {
+		var acc float64
+		for i := 0; i < s.m; i++ {
+			if v[i] != 0 {
+				acc += v[i] * s.binv[i][k]
+			}
+		}
+		y[k] = acc
+	}
+	return y
+}
+
+// nonbasicValue returns the current value of nonbasic column j.
+func (s *Solver) nonbasicValue(j int) float64 {
+	switch s.state[j] {
+	case stLower:
+		if math.IsInf(s.lo[j], -1) {
+			return 0
+		}
+		return s.lo[j]
+	case stUpper:
+		if math.IsInf(s.up[j], 1) {
+			return 0
+		}
+		return s.up[j]
+	default:
+		return 0
+	}
+}
+
+// computeXB recomputes the basic variable values from scratch:
+// x_B = B⁻¹ (b − N x_N).
+func (s *Solver) computeXB() {
+	rhs := append([]float64(nil), s.b...)
+	total := s.n + s.m
+	for j := 0; j < total; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		if j < s.n {
+			for _, e := range s.cols[j] {
+				rhs[e.row] -= e.val * v
+			}
+		} else {
+			rhs[j-s.n] -= v
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		var acc float64
+		bi := s.binv[i]
+		for k, r := range rhs {
+			if r != 0 {
+				acc += bi[k] * r
+			}
+		}
+		s.xb[i] = acc
+	}
+}
+
+// resetSlackBasis installs the all-slack basis.
+func (s *Solver) resetSlackBasis() {
+	s.basis = make([]int, s.m)
+	s.binv = make([][]float64, s.m)
+	s.xb = make([]float64, s.m)
+	total := s.n + s.m
+	if len(s.state) < total {
+		s.state = make([]int8, total)
+	}
+	for j := 0; j < total; j++ {
+		switch {
+		case j >= s.n: // slack, basic
+			s.state[j] = stBasic
+		case !math.IsInf(s.lo[j], -1):
+			s.state[j] = stLower
+		case !math.IsInf(s.up[j], 1):
+			s.state[j] = stUpper
+		default:
+			s.state[j] = stFree
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = s.n + i
+		s.binv[i] = make([]float64, s.m)
+		s.binv[i][i] = 1
+	}
+	s.hasBasis = true
+	s.pivots = 0
+	s.dValid = false
+	s.computeXB()
+}
+
+// refactorize rebuilds B⁻¹ from the basis columns with Gauss–Jordan
+// elimination; returns false if the basis matrix is singular.
+func (s *Solver) refactorize() bool {
+	m := s.m
+	// Build [B | I] and reduce.
+	a := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, 2*m)
+		a[i][m+i] = 1
+	}
+	for p, j := range s.basis {
+		if j < s.n {
+			for _, e := range s.cols[j] {
+				a[e.row][p] = e.val
+			}
+		} else {
+			a[j-s.n][p] = 1
+		}
+	}
+	for col := 0; col < m; col++ {
+		p := -1
+		best := 1e-11
+		for r := col; r < m; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best = v
+				p = r
+			}
+		}
+		if p < 0 {
+			return false
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for k := col; k < 2*m; k++ {
+			a[col][k] /= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < 2*m; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], a[i][m:])
+	}
+	s.pivots = 0
+	return true
+}
+
+// pivot updates the basis: column enter replaces the basic variable of
+// row r; w must be B⁻¹ A_enter. leaveState is the state the leaving
+// variable assumes.
+func (s *Solver) pivot(r, enter int, w []float64, leaveState int8) {
+	leave := s.basis[r]
+	s.state[leave] = leaveState
+	s.state[enter] = stBasic
+	s.basis[r] = enter
+	piv := w[r]
+	// Elementary transformation of B⁻¹.
+	br := s.binv[r]
+	for k := 0; k < s.m; k++ {
+		br[k] /= piv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		bi := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			bi[k] -= f * br[k]
+		}
+	}
+	s.pivots++
+	if s.pivots >= 400 {
+		if !s.refactorize() {
+			s.resetSlackBasis()
+		}
+		s.dValid = false
+	}
+}
+
+// reducedCosts returns d_j = c_j − yᵀA_j for every column, with
+// y = c_Bᵀ B⁻¹ (also returned).
+func (s *Solver) reducedCosts() (d, y []float64) {
+	cb := make([]float64, s.m)
+	for i, j := range s.basis {
+		cb[i] = s.c[j]
+	}
+	y = s.btran(cb)
+	total := s.n + s.m
+	d = make([]float64, total)
+	for j := 0; j < total; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		var yaj float64
+		if j < s.n {
+			for _, e := range s.cols[j] {
+				yaj += y[e.row] * e.val
+			}
+		} else {
+			yaj = y[j-s.n]
+		}
+		d[j] = s.c[j] - yaj
+	}
+	return d, y
+}
+
+// primalInfeasibility returns the total bound violation of the basic
+// variables.
+func (s *Solver) primalInfeasibility() float64 {
+	var inf float64
+	for i, j := range s.basis {
+		if v := s.xb[i] - s.up[j]; v > feasTol {
+			inf += v
+		}
+		if v := s.lo[j] - s.xb[i]; v > feasTol {
+			inf += v
+		}
+	}
+	return inf
+}
+
+// dualInfeasible reports whether any nonbasic reduced cost violates its
+// required sign.
+func (s *Solver) dualInfeasible(d []float64) bool {
+	total := s.n + s.m
+	for j := 0; j < total; j++ {
+		switch s.state[j] {
+		case stLower:
+			if d[j] < -dualTol {
+				return true
+			}
+		case stUpper:
+			if d[j] > dualTol {
+				return true
+			}
+		case stFree:
+			if math.Abs(d[j]) > dualTol {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *Solver) maxIters() int {
+	if s.MaxIters > 0 {
+		return s.MaxIters
+	}
+	return 20000 + 40*(s.n+s.m)
+}
+
+// Solve optimizes from the current basis (or from the all-slack basis on
+// the first call), automatically choosing primal or dual simplex.
+func (s *Solver) Solve() *Solution {
+	if !s.hasBasis || len(s.basis) != s.m {
+		s.resetSlackBasis()
+	}
+	s.iters = 0
+	s.computeXB()
+	if s.primalInfeasibility() > feasTol {
+		d, _ := s.reducedCosts()
+		if !s.dualInfeasible(d) {
+			if st := s.dualSimplex(); st != Optimal {
+				// Either proven infeasible or numerical trouble; phase 1
+				// confirms from scratch.
+				if st == Infeasible {
+					return s.finish(Infeasible)
+				}
+			}
+		}
+		if s.primalInfeasibility() > feasTol {
+			if st := s.primalPhase1(); st != Optimal {
+				return s.finish(st)
+			}
+		}
+	}
+	st := s.primalPhase2()
+	return s.finish(st)
+}
+
+// finish assembles a Solution from the current state.
+func (s *Solver) finish(st Status) *Solution {
+	sol := &Solution{Status: st, Iters: s.iters}
+	if st != Optimal {
+		return sol
+	}
+	x := make([]float64, s.n+s.m)
+	for j := range x {
+		if s.state[j] != stBasic {
+			x[j] = s.nonbasicValue(j)
+		}
+	}
+	for i, j := range s.basis {
+		x[j] = s.xb[i]
+	}
+	sol.X = x[:s.n:s.n]
+	var obj float64
+	for j := 0; j < s.n; j++ {
+		obj += s.c[j] * x[j]
+	}
+	sol.Obj = obj
+	d, y := s.reducedCosts()
+	sol.Duals = y
+	sol.RedCosts = d[:s.n:s.n]
+	return sol
+}

@@ -1,0 +1,123 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on directed
+// graphs with real capacities. It is the separation engine of the Steiner
+// branch-and-cut: violated directed Steiner cuts are minimum cuts in the
+// support graph of the current LP solution.
+package maxflow
+
+import "math"
+
+// arc is one directed arc plus its residual twin (stored adjacently).
+type arc struct {
+	to  int
+	cap float64
+}
+
+// Network is a flow network under construction.
+type Network struct {
+	n    int
+	arcs []arc   // arcs[2k] forward, arcs[2k+1] backward
+	head [][]int // arc indices per vertex
+
+	level []int
+	iter  []int
+}
+
+// New returns a network with n vertices.
+func New(n int) *Network {
+	return &Network{n: n, head: make([][]int, n)}
+}
+
+// AddArc inserts a directed arc u→v with the given capacity and returns
+// its index (use it with Flow to query the routed flow).
+func (nw *Network) AddArc(u, v int, capacity float64) int {
+	id := len(nw.arcs)
+	nw.arcs = append(nw.arcs, arc{to: v, cap: capacity}, arc{to: u, cap: 0})
+	nw.head[u] = append(nw.head[u], id)
+	nw.head[v] = append(nw.head[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently routed on arc id (after MaxFlow).
+func (nw *Network) Flow(id int) float64 { return nw.arcs[id^1].cap }
+
+// Capacity returns the remaining capacity of arc id.
+func (nw *Network) Capacity(id int) float64 { return nw.arcs[id].cap }
+
+const eps = 1e-12
+
+func (nw *Network) bfs(s, t int) bool {
+	nw.level = make([]int, nw.n)
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := []int{s}
+	nw.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range nw.head[v] {
+			a := nw.arcs[id]
+			if a.cap > eps && nw.level[a.to] < 0 {
+				nw.level[a.to] = nw.level[v] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+func (nw *Network) dfs(v, t int, f float64) float64 {
+	if v == t {
+		return f
+	}
+	for ; nw.iter[v] < len(nw.head[v]); nw.iter[v]++ {
+		id := nw.head[v][nw.iter[v]]
+		a := &nw.arcs[id]
+		if a.cap <= eps || nw.level[a.to] != nw.level[v]+1 {
+			continue
+		}
+		d := nw.dfs(a.to, t, math.Min(f, a.cap))
+		if d > eps {
+			a.cap -= d
+			nw.arcs[id^1].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s–t flow.
+func (nw *Network) MaxFlow(s, t int) float64 {
+	var flow float64
+	for nw.bfs(s, t) {
+		nw.iter = make([]int, nw.n)
+		for {
+			f := nw.dfs(s, t, math.Inf(1))
+			if f <= eps {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// MinCutSource returns the source side of a minimum cut after MaxFlow:
+// the set of vertices reachable from s in the residual network.
+func (nw *Network) MinCutSource(s int) []bool {
+	seen := make([]bool, nw.n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range nw.head[v] {
+			a := nw.arcs[id]
+			if a.cap > eps && !seen[a.to] {
+				seen[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,43 @@
+package misdp
+
+import (
+	"repro/internal/core"
+	"repro/internal/scip"
+)
+
+// This file is the analogue of misdp_plugins.cpp in the paper's
+// ug_scip_applications/MISDP: the complete glue code turning the
+// sequential SCIP-SDP plugin set into ug[SCIP-SDP,*]. The racing
+// settings ladder alternates LP- and SDP-based configurations, which is
+// how ug[SCIP-SDP,*] becomes a hybrid solver choosing the better
+// relaxation per instance.
+
+// NewApp registers the SCIP-SDP user plugins for the ug[SCIP-*,*] glue
+// layer, yielding ug[SCIP-SDP,*]. ladder is the number of racing
+// settings (the paper uses 32; Settings[0] — the default outside racing
+// — is the SDP-based configuration, matching SCIP-SDP's default).
+func NewApp(instance *MISDP, ladder int) core.App {
+	if ladder < 2 {
+		ladder = 32
+	}
+	// The ladder itself provides the default: settings "1:sdp" is the
+	// SDP-based configuration SCIP-SDP uses sequentially. Keeping the
+	// ladder unprefixed makes racing with w workers use settings 1..w,
+	// i.e. alternating SDP/LP — half and half, as the paper describes.
+	settings := SettingsLadder(ladder)
+	return core.App{
+		Name:        "SCIP-SDP",
+		Def:         &Def{},
+		Data:        instance,
+		MakePlugins: func() *scip.Plugins { return NewPlugins() },
+		Settings:    settings,
+	}
+}
+
+// NewAppLP is NewApp with the LP cutting-plane configuration as the
+// default outside racing.
+func NewAppLP(instance *MISDP, ladder int) core.App {
+	app := NewApp(instance, ladder)
+	app.Settings = append([]scip.Settings{LPSettings()}, app.Settings...)
+	return app
+}

@@ -1,0 +1,177 @@
+package misdp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/scip"
+	"repro/internal/sdp"
+)
+
+// solveSeq runs the full SCIP-SDP pipeline sequentially and returns the
+// achieved maximum of Bᵀy (scip minimizes −Bᵀy).
+func solveSeq(t *testing.T, p *MISDP, set scip.Settings) (float64, scip.Status) {
+	t.Helper()
+	def := &Def{}
+	data, _ := def.Presolve(p, scip.Infinity)
+	prob := def.BuildModel(data.(*MISDP))
+	plug := NewPlugins()
+	plug.Def = def
+	s := scip.NewSolver(prob, set, plug)
+	st := s.Solve()
+	if st == scip.StatusOptimal {
+		return -s.Incumbent().Obj, st
+	}
+	return math.Inf(-1), st
+}
+
+// tiny MISDP: max y1 + y2, y integer in [0,3], block 3 − y1 − y2 ⪰ 0
+// → y1+y2 = 3.
+func tinyMISDP() *MISDP {
+	p := &MISDP{Name: "tiny"}
+	p.AddVar(1, 0, 3, true)
+	p.AddVar(1, 0, 3, true)
+	c := linalg.Identity(1, 3)
+	a1 := linalg.Identity(1, 1)
+	a2 := linalg.Identity(1, 1)
+	p.Blocks = []*sdp.Block{{N: 1, C: c, A: []*linalg.Sym{a1, a2}}}
+	return p
+}
+
+func TestTinyBothModes(t *testing.T) {
+	for _, set := range []scip.Settings{LPSettings(), SDPSettings()} {
+		got, st := solveSeq(t, tinyMISDP(), set)
+		if st != scip.StatusOptimal {
+			t.Fatalf("%s: status %v", set.Name, st)
+		}
+		if math.Abs(got-3) > 1e-4 {
+			t.Fatalf("%s: obj = %v, want 3", set.Name, got)
+		}
+	}
+}
+
+// offDiagMISDP: max y, y ∈ {−2..2} integer, [[1,y],[y,1]] ⪰ 0 → y = 1.
+func offDiagMISDP() *MISDP {
+	p := &MISDP{Name: "offdiag"}
+	p.AddVar(1, -2, 2, true)
+	c := linalg.NewSym(2)
+	c.Set(0, 0, 1)
+	c.Set(1, 1, 1)
+	a := linalg.NewSym(2)
+	a.Set(0, 1, -1)
+	p.Blocks = []*sdp.Block{{N: 2, C: c, A: []*linalg.Sym{a}}}
+	return p
+}
+
+func TestOffDiagonalInteger(t *testing.T) {
+	for _, set := range []scip.Settings{LPSettings(), SDPSettings()} {
+		got, st := solveSeq(t, offDiagMISDP(), set)
+		if st != scip.StatusOptimal || math.Abs(got-1) > 1e-4 {
+			t.Fatalf("%s: obj = %v (%v), want 1", set.Name, got, st)
+		}
+	}
+}
+
+func TestInfeasibleMISDP(t *testing.T) {
+	p := &MISDP{Name: "infeas"}
+	p.AddVar(1, 0, 1, true)
+	c := linalg.Identity(1, -3)
+	a := linalg.Identity(1, 1)
+	p.Blocks = []*sdp.Block{{N: 1, C: c, A: []*linalg.Sym{a}}}
+	for _, set := range []scip.Settings{LPSettings(), SDPSettings()} {
+		_, st := solveSeq(t, p, set)
+		if st != scip.StatusInfeasible {
+			t.Fatalf("%s: status %v, want infeasible", set.Name, st)
+		}
+	}
+}
+
+func TestFeasibleChecker(t *testing.T) {
+	p := tinyMISDP()
+	if !p.Feasible([]float64{1, 2}, 1e-6) {
+		t.Fatal("feasible point rejected")
+	}
+	if p.Feasible([]float64{2, 2}, 1e-6) {
+		t.Fatal("PSD-violating point accepted")
+	}
+	if p.Feasible([]float64{0.5, 0}, 1e-6) {
+		t.Fatal("fractional integer accepted")
+	}
+}
+
+func TestDualFixing(t *testing.T) {
+	// max −y (b = −1 ≤ 0) with A = I PSD: y must fix to its lower bound.
+	p := &MISDP{Name: "dualfix"}
+	p.AddVar(-1, 0, 5, true)
+	p.Blocks = []*sdp.Block{{N: 1, C: linalg.Identity(1, 10), A: []*linalg.Sym{linalg.Identity(1, 1)}}}
+	def := &Def{}
+	def.Presolve(p, scip.Infinity)
+	if def.FixedOut != 1 {
+		t.Fatalf("dual fixing fixed %d vars, want 1", def.FixedOut)
+	}
+	if p.Up[0] != 0 {
+		t.Fatalf("variable not fixed to lower bound: up = %v", p.Up[0])
+	}
+}
+
+func TestDualFixingPreservesOptimum(t *testing.T) {
+	// Mixed instance where one variable is dual-fixable.
+	p := &MISDP{Name: "dfopt"}
+	p.AddVar(-1, 0, 3, true) // fixable to 0
+	p.AddVar(2, 0, 3, true)
+	p.Blocks = []*sdp.Block{{
+		N: 1, C: linalg.Identity(1, 4),
+		A: []*linalg.Sym{linalg.Identity(1, 1), linalg.Identity(1, 1)},
+	}}
+	// Optimum: y1 = 0, y2 = 3 (4−y1−y2 ≥ 0... y2 ≤ 4−y1 ≤ 4, box ≤ 3) → 6.
+	got, st := solveSeq(t, p, SDPSettings())
+	if st != scip.StatusOptimal || math.Abs(got-6) > 1e-4 {
+		t.Fatalf("obj = %v (%v), want 6", got, st)
+	}
+	got2, _ := solveSeq(t, p, LPSettings())
+	if math.Abs(got2-6) > 1e-4 {
+		t.Fatalf("LP mode obj = %v, want 6", got2)
+	}
+}
+
+func TestSettingsLadderShape(t *testing.T) {
+	ladder := SettingsLadder(32)
+	if len(ladder) != 32 {
+		t.Fatalf("ladder length %d", len(ladder))
+	}
+	for i, s := range ladder {
+		number := i + 1
+		if number%2 == 1 && s.UseLP {
+			t.Fatalf("setting %d should be SDP-based", number)
+		}
+		if number%2 == 0 && !s.UseLP {
+			t.Fatalf("setting %d should be LP-based", number)
+		}
+		if s.Name == "" {
+			t.Fatalf("setting %d unnamed", number)
+		}
+	}
+	// Names must distinguish emphases.
+	if ladder[1].Name == ladder[3].Name {
+		t.Fatalf("ladder names collide: %q", ladder[1].Name)
+	}
+}
+
+func TestLinearRowsEnforcedInSDPMode(t *testing.T) {
+	// max y1+y2, SDP loose, row y1+y2 ≤ 2, integers in [0,5] → 2.
+	p := &MISDP{Name: "rows"}
+	p.AddVar(1, 0, 5, true)
+	p.AddVar(1, 0, 5, true)
+	p.Blocks = []*sdp.Block{{
+		N: 1, C: linalg.Identity(1, 100),
+		A: []*linalg.Sym{linalg.Identity(1, 1), linalg.Identity(1, 1)},
+	}}
+	p.Rows = append(p.Rows, sdp.Row{Coef: []float64{1, 1}, RHS: 2})
+	for _, set := range []scip.Settings{LPSettings(), SDPSettings()} {
+		got, st := solveSeq(t, p, set)
+		if st != scip.StatusOptimal || math.Abs(got-2) > 1e-4 {
+			t.Fatalf("%s: obj = %v (%v), want 2", set.Name, got, st)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package scip
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/lp"
+)
+
+// Ctx is the view of the solver state passed to plugins while a node is
+// being processed.
+type Ctx struct {
+	S    *Solver
+	Node *Node
+	// LPSol is the most recent LP relaxation solution at this node (nil
+	// when the LP is disabled or was not solved to optimality).
+	LPSol *lp.Solution
+	// RelaxX is the most recent relaxator solution, if any.
+	RelaxX []float64
+	// Data is the node-local problem data: a clone of the presolved data
+	// with all root-path branching decisions applied.
+	Data any
+
+	rng        *rand.Rand
+	infeasible bool
+	children   []Child
+	ncuts      int
+}
+
+// NVars returns the number of model variables.
+func (c *Ctx) NVars() int { return len(c.S.Prob.Vars) }
+
+// Var returns variable metadata.
+func (c *Ctx) Var(j int) *Var { return &c.S.Prob.Vars[j] }
+
+// LocalLo returns the effective lower bound of variable j at this node.
+func (c *Ctx) LocalLo(j int) float64 { return c.S.localLo[j] }
+
+// LocalUp returns the effective upper bound of variable j at this node.
+func (c *Ctx) LocalUp(j int) float64 { return c.S.localUp[j] }
+
+// Fixed reports whether variable j is fixed at this node.
+func (c *Ctx) Fixed(j int) bool { return c.S.localUp[j]-c.S.localLo[j] < 1e-9 }
+
+// TightenLo raises the local lower bound of j; returns true if it
+// changed. Detects local infeasibility automatically.
+func (c *Ctx) TightenLo(j int, v float64) bool {
+	if v <= c.S.localLo[j]+1e-9 {
+		return false
+	}
+	c.S.localLo[j] = v
+	if c.S.Set.UseLP {
+		c.S.lps.SetBound(j, v, c.S.localUp[j])
+	}
+	if v > c.S.localUp[j]+1e-7 {
+		c.infeasible = true
+	}
+	return true
+}
+
+// TightenUp lowers the local upper bound of j; returns true if changed.
+func (c *Ctx) TightenUp(j int, v float64) bool {
+	if v >= c.S.localUp[j]-1e-9 {
+		return false
+	}
+	c.S.localUp[j] = v
+	if c.S.Set.UseLP {
+		c.S.lps.SetBound(j, c.S.localLo[j], v)
+	}
+	if v < c.S.localLo[j]-1e-7 {
+		c.infeasible = true
+	}
+	return true
+}
+
+// FixVar fixes variable j to value v locally.
+func (c *Ctx) FixVar(j int, v float64) {
+	c.TightenLo(j, v)
+	c.TightenUp(j, v)
+}
+
+// MarkInfeasible declares the current node infeasible.
+func (c *Ctx) MarkInfeasible() { c.infeasible = true }
+
+// AddCut adds a globally valid cutting plane to the LP; returns false if
+// an identical global cut already exists.
+func (c *Ctx) AddCut(sense lp.Sense, rhs float64, coefs []lp.Nonzero) bool {
+	if !c.S.addCut(sense, rhs, coefs, -1) {
+		return false
+	}
+	c.ncuts++
+	return true
+}
+
+// AddLocalCut adds a cutting plane valid only in the subtree rooted at
+// the current node (e.g. Steiner cuts that rely on branching-induced
+// terminals).
+func (c *Ctx) AddLocalCut(sense lp.Sense, rhs float64, coefs []lp.Nonzero) bool {
+	if !c.S.addCut(sense, rhs, coefs, c.Node.ID) {
+		return false
+	}
+	c.ncuts++
+	return true
+}
+
+// CutBudgetLeft returns how many more separator cuts the row budget
+// allows (separators should stop at zero; constraint-handler enforcement
+// cuts are exempt because they are needed for correctness).
+func (c *Ctx) CutBudgetLeft() int {
+	if c.S.Set.MaxCutRows <= 0 {
+		return 1 << 30
+	}
+	left := c.S.Set.MaxCutRows - len(c.S.cutOrigin)
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+// AddChildren registers branching children for the current node.
+func (c *Ctx) AddChildren(children []Child) {
+	c.children = append(c.children, children...)
+}
+
+// SubmitSol offers a primal solution; the framework verifies global
+// feasibility and installs it as incumbent when improving. Returns true
+// when accepted.
+func (c *Ctx) SubmitSol(x []float64) bool {
+	return c.S.submitSolution(x, true)
+}
+
+// Incumbent returns the current best solution (nil if none).
+func (c *Ctx) Incumbent() *Sol { return c.S.incumbent }
+
+// UpperBound returns the incumbent objective (model space; +Inf if none).
+func (c *Ctx) UpperBound() float64 {
+	if c.S.incumbent == nil {
+		return Infinity
+	}
+	return c.S.incumbent.Obj
+}
+
+// Rand returns the node-deterministic random source for this solve.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Settings returns the active settings.
+func (c *Ctx) Settings() *Settings { return &c.S.Set }
+
+// DualBound returns the current node's dual bound.
+func (c *Ctx) DualBound() float64 { return c.Node.Bound }
+
+// IsIntegral reports whether x satisfies all integrality requirements.
+func (c *Ctx) IsIntegral(x []float64) bool {
+	for j, v := range c.S.Prob.Vars {
+		if v.Type == Continuous {
+			continue
+		}
+		if math.Abs(x[j]-math.Round(x[j])) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package scip
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// This file implements the solver-independent subproblem/solution
+// encoding that UG ships between the LoadCoordinator and the ParaSolvers.
+
+// encodeNode converts an open node into a transferable Subprob: effective
+// bound changes versus the presolved model plus the root-path decisions.
+func (s *Solver) encodeNode(n *Node) *Subprob {
+	lo, up := s.effectiveBounds(n)
+	sub := &Subprob{Bound: n.Bound, Depth: n.Depth}
+	for j := range s.Prob.Vars {
+		if lo[j] != s.Prob.Vars[j].Lo || up[j] != s.Prob.Vars[j].Up {
+			sub.Bounds = append(sub.Bounds, BoundChg{Var: j, Lo: lo[j], Up: up[j]})
+		}
+	}
+	sub.Decisions = n.allDecisions()
+	return sub
+}
+
+// ExtractBestOpen removes the open node with the best (smallest) dual
+// bound and returns it in transferable form; nil when no node is open.
+// This is what a ParaSolver in collect mode sends to the LoadCoordinator.
+func (s *Solver) ExtractBestOpen() *Subprob {
+	n := s.tree.extractBest()
+	if n == nil {
+		return nil
+	}
+	return s.encodeNode(n)
+}
+
+// ExtractAllOpen drains every open node in transferable form — used when
+// the racing winner hands its frontier to the LoadCoordinator.
+func (s *Solver) ExtractAllOpen() []*Subprob {
+	nodes := s.tree.drain()
+	out := make([]*Subprob, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, s.encodeNode(n))
+	}
+	return out
+}
+
+// EncodeSubprob gob-serializes a subproblem (the "wire format" of the
+// simulated MPI layer).
+func EncodeSubprob(sub *Subprob) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sub); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSubprob reverses EncodeSubprob.
+func DecodeSubprob(b []byte) (*Subprob, error) {
+	var sub Subprob
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sub); err != nil {
+		return nil, err
+	}
+	return &sub, nil
+}
+
+// EncodeSol gob-serializes a solution.
+func EncodeSol(sol *Sol) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sol); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSol reverses EncodeSol.
+func DecodeSol(b []byte) (*Sol, error) {
+	var sol Sol
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sol); err != nil {
+		return nil, err
+	}
+	return &sol, nil
+}

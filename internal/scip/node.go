@@ -1,0 +1,199 @@
+package scip
+
+import "container/heap"
+
+// Node is one branch-and-bound node. Bound changes and decisions are
+// stored as deltas against the parent; the full subproblem is recovered
+// by walking the root path.
+type Node struct {
+	ID        int64
+	Depth     int
+	Bound     float64 // dual bound inherited/improved
+	Parent    *Node
+	BoundChgs []BoundChg
+	Decisions []Decision
+}
+
+// path returns root→node order of the nodes on the root path.
+func (n *Node) path() []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// allDecisions collects the branching decisions on the root path.
+func (n *Node) allDecisions() []Decision {
+	var out []Decision
+	for _, nd := range n.path() {
+		out = append(out, nd.Decisions...)
+	}
+	return out
+}
+
+// nodeHeap is a best-bound priority queue of open nodes.
+type nodeHeap []*Node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].Bound != h[j].Bound {
+		return h[i].Bound < h[j].Bound
+	}
+	return h[i].ID < h[j].ID
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*Node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// tree holds the open nodes under a selection policy.
+type tree struct {
+	sel   NodeSelection
+	heap  nodeHeap
+	stack []*Node // for DFS / plunging
+}
+
+func newTree(sel NodeSelection) *tree { return &tree{sel: sel} }
+
+func (t *tree) push(n *Node) {
+	switch t.sel {
+	case DepthFirst:
+		t.stack = append(t.stack, n)
+	case HybridPlunge:
+		// Children go on the plunge stack; exhausted stacks fall back to
+		// the best-bound heap (see pop).
+		t.stack = append(t.stack, n)
+	default:
+		heap.Push(&t.heap, n)
+	}
+}
+
+func (t *tree) pop() *Node {
+	switch t.sel {
+	case DepthFirst:
+		if len(t.stack) == 0 {
+			return nil
+		}
+		n := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		return n
+	case HybridPlunge:
+		if len(t.stack) > 0 {
+			n := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			// Spill the rest of the stack into the heap so plunges stay
+			// shallow bursts rather than full DFS.
+			if len(t.stack) > 8 {
+				for _, m := range t.stack {
+					heap.Push(&t.heap, m)
+				}
+				t.stack = t.stack[:0]
+			}
+			return n
+		}
+		if t.heap.Len() == 0 {
+			return nil
+		}
+		return heap.Pop(&t.heap).(*Node)
+	default:
+		if t.heap.Len() == 0 {
+			return nil
+		}
+		return heap.Pop(&t.heap).(*Node)
+	}
+}
+
+func (t *tree) size() int { return t.heap.Len() + len(t.stack) }
+
+// all returns every open node (order unspecified) and empties the tree.
+func (t *tree) drain() []*Node {
+	out := append([]*Node(nil), t.stack...)
+	out = append(out, t.heap...)
+	t.stack = nil
+	t.heap = nil
+	return out
+}
+
+// best returns the smallest bound among open nodes (inf when empty).
+func (t *tree) best() float64 {
+	best := Infinity
+	for _, n := range t.stack {
+		if n.Bound < best {
+			best = n.Bound
+		}
+	}
+	for _, n := range t.heap {
+		if n.Bound < best {
+			best = n.Bound
+		}
+	}
+	return best
+}
+
+// extractBest removes and returns the open node with the smallest dual
+// bound — UG's "heavy subproblem" candidate (expected to root a large
+// subtree). Returns nil when no open node exists.
+func (t *tree) extractBest() *Node {
+	bestIdx, from := -1, 0
+	best := Infinity
+	for i, n := range t.stack {
+		if n.Bound < best {
+			best = n.Bound
+			bestIdx = i
+			from = 1
+		}
+	}
+	for i, n := range t.heap {
+		if n.Bound < best {
+			best = n.Bound
+			bestIdx = i
+			from = 2
+		}
+	}
+	switch from {
+	case 1:
+		n := t.stack[bestIdx]
+		t.stack = append(t.stack[:bestIdx], t.stack[bestIdx+1:]...)
+		return n
+	case 2:
+		n := t.heap[bestIdx]
+		heap.Remove(&t.heap, bestIdx)
+		return n
+	}
+	return nil
+}
+
+// prune removes all open nodes with bound ≥ cutoff, returning how many
+// were discarded.
+func (t *tree) prune(cutoff float64) int {
+	removed := 0
+	keepS := t.stack[:0]
+	for _, n := range t.stack {
+		if n.Bound < cutoff {
+			keepS = append(keepS, n)
+		} else {
+			removed++
+		}
+	}
+	t.stack = keepS
+	keepH := t.heap[:0]
+	for _, n := range t.heap {
+		if n.Bound < cutoff {
+			keepH = append(keepH, n)
+		} else {
+			removed++
+		}
+	}
+	t.heap = keepH
+	heap.Init(&t.heap)
+	return removed
+}

@@ -1,0 +1,107 @@
+package scip
+
+// This file defines the plugin interfaces. A problem-specific solver is
+// a set of implementations of these interfaces plus a ProblemDef that
+// owns presolving and model construction — mirroring how SCIP
+// applications register user plugins.
+
+// Result is the outcome a plugin reports back to the framework.
+type Result int8
+
+// Plugin outcomes.
+const (
+	DidNotRun  Result = iota
+	DidNothing        // ran, found nothing
+	Reduced           // tightened bounds / reduced data
+	Separated         // added at least one cutting plane
+	Cutoff            // proved the current node infeasible or dominated
+	Branched          // created child nodes itself
+	FoundSol          // produced a primal solution
+)
+
+// ProblemDef owns the problem data lifecycle: presolving (run globally
+// once and again per received UG subproblem — the paper's "layered
+// presolving"), model construction, and the application of
+// solver-independent branching decisions to problem data.
+type ProblemDef interface {
+	// Presolve reduces data in place, given the best known upper bound
+	// (Infinity if none); returns the (possibly replaced) data and the
+	// objective offset accumulated by the reductions.
+	Presolve(data any, upperBound float64) (out any, objOffset float64)
+	// BuildModel constructs the variable/row model of (presolved) data.
+	BuildModel(data any) *Prob
+	// CloneData deep-copies problem data for node-local modification.
+	CloneData(data any) any
+	// ApplyDecision applies one branching decision to node-local data.
+	ApplyDecision(data any, d Decision)
+}
+
+// Propagator tightens local variable bounds at a node using node-local
+// data (e.g. reduced-cost fixing, graph reductions deep in the tree).
+type Propagator interface {
+	Name() string
+	Propagate(ctx *Ctx) Result
+}
+
+// Separator finds violated valid inequalities for the current relaxation
+// solution and adds them via ctx.AddCut / ctx.AddLocalCut.
+type Separator interface {
+	Name() string
+	Separate(ctx *Ctx) Result
+}
+
+// Heuristic searches for primal solutions; it submits them via
+// ctx.SubmitSol.
+type Heuristic interface {
+	Name() string
+	Search(ctx *Ctx) Result
+}
+
+// Conshdlr is a constraint handler for a constraint class that is not
+// captured by the initial linear rows (Steiner connectivity, SDP cones).
+type Conshdlr interface {
+	Name() string
+	// Check reports whether a candidate (integral) solution satisfies the
+	// handler's constraints.
+	Check(ctx *Ctx, x []float64) bool
+	// Enforce is called on a relaxation-optimal candidate that passed
+	// integrality; the handler may add cuts (Separated), declare the node
+	// infeasible (Cutoff), accept (DidNothing) or branch (Branched).
+	Enforce(ctx *Ctx, x []float64) Result
+}
+
+// Brancher splits the current node. It either returns child
+// specifications or reports DidNotRun to fall through to the built-in
+// most-fractional rule.
+type Brancher interface {
+	Name() string
+	Branch(ctx *Ctx) ([]Child, Result)
+}
+
+// Relaxator computes an extra relaxation bound at a node (the SDP
+// relaxation in SCIP-SDP's nonlinear branch-and-bound mode).
+type Relaxator interface {
+	Name() string
+	// Relax returns a valid lower bound for the node, an optional
+	// relaxation solution (candidate for integrality checking), and a
+	// status: Cutoff when infeasibility was proven, DidNothing otherwise.
+	Relax(ctx *Ctx) (bound float64, x []float64, res Result)
+}
+
+// Child describes one branching child.
+type Child struct {
+	Bounds    []BoundChg
+	Decisions []Decision
+}
+
+// Plugins is the registry of a solver instance. The zero value is a bare
+// MIP solver (LP relaxation + most-fractional branching).
+type Plugins struct {
+	Def         ProblemDef
+	Propagators []Propagator
+	Separators  []Separator
+	Heuristics  []Heuristic
+	Conshdlrs   []Conshdlr
+	Branchers   []Brancher
+	Relaxators  []Relaxator
+}

@@ -1,0 +1,326 @@
+package scip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// These tests exercise the plugin API contract with purpose-built toy
+// plugins: propagation rounds, separator cut loops (global and local
+// cuts), constraint-handler enforcement, heuristic submission, custom
+// branching with Decisions, and relaxators.
+
+// evenSumCons requires Σx to be even — a stand-in for an exotic
+// constraint class handled outside the LP.
+type evenSumCons struct{ enforced int }
+
+func (*evenSumCons) Name() string { return "evensum" }
+func (c *evenSumCons) Check(ctx *Ctx, x []float64) bool {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return math.Mod(math.Round(s), 2) == 0
+}
+func (c *evenSumCons) Enforce(ctx *Ctx, x []float64) Result {
+	c.enforced++
+	// Branch the parity explicitly: fix the first unfixed variable both
+	// ways (a crude but complete dichotomy).
+	for j := range x {
+		if ctx.LocalUp(j)-ctx.LocalLo(j) > 0.5 {
+			ctx.AddChildren([]Child{
+				{Bounds: []BoundChg{{Var: j, Lo: 0, Up: 0}}},
+				{Bounds: []BoundChg{{Var: j, Lo: 1, Up: 1}}},
+			})
+			return Branched
+		}
+	}
+	return Cutoff // all fixed and parity odd: infeasible here
+}
+
+func TestConshdlrEnforcementBranching(t *testing.T) {
+	// max x1+x2+x3 (binary) s.t. sum even → optimum 2.
+	p := &Prob{Name: "evensum", IntegralObj: true}
+	for i := 0; i < 3; i++ {
+		p.AddVar("x", 0, 1, -1, Binary)
+	}
+	h := &evenSumCons{}
+	s := NewSolver(p, DefaultSettings(), &Plugins{Conshdlrs: []Conshdlr{h}})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if got := -s.Incumbent().Obj; got != 2 {
+		t.Fatalf("obj = %v, want 2", got)
+	}
+	if h.enforced == 0 {
+		t.Fatal("handler never enforced")
+	}
+}
+
+// fixingProp fixes variable 0 to 0 at every node (a trivially valid
+// tightening for the model below) and reports Reduced once.
+type fixingProp struct{ calls int }
+
+func (*fixingProp) Name() string { return "fixprop" }
+func (pr *fixingProp) Propagate(ctx *Ctx) Result {
+	pr.calls++
+	if ctx.LocalUp(0) > 0 {
+		ctx.TightenUp(0, 0)
+		return Reduced
+	}
+	return DidNothing
+}
+
+func TestPropagatorTightensBounds(t *testing.T) {
+	// max x0 + x1; a propagator that knows x0 must be 0 → optimum 1.
+	p := &Prob{Name: "prop", IntegralObj: true}
+	p.AddVar("x0", 0, 1, -1, Binary)
+	p.AddVar("x1", 0, 1, -1, Binary)
+	// Row that would otherwise allow both: x0 + x1 ≤ 2.
+	p.AddRow("r", lp.LE, 2, []lp.Nonzero{{Col: 0, Val: 1}, {Col: 1, Val: 1}})
+	pr := &fixingProp{}
+	s := NewSolver(p, DefaultSettings(), &Plugins{Propagators: []Propagator{pr}})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if got := -s.Incumbent().Obj; got != 1 {
+		t.Fatalf("obj = %v, want 1", got)
+	}
+	if pr.calls == 0 {
+		t.Fatal("propagator never ran")
+	}
+}
+
+// knapCutSepa separates the cover cut x0+x1 ≤ 1 when violated.
+type knapCutSepa struct{ added int }
+
+func (*knapCutSepa) Name() string { return "coversepa" }
+func (sp *knapCutSepa) Separate(ctx *Ctx) Result {
+	if ctx.LPSol == nil {
+		return DidNotRun
+	}
+	if ctx.LPSol.X[0]+ctx.LPSol.X[1] > 1+1e-6 {
+		if ctx.AddCut(lp.LE, 1, []lp.Nonzero{{Col: 0, Val: 1}, {Col: 1, Val: 1}}) {
+			sp.added++
+			return Separated
+		}
+	}
+	return DidNothing
+}
+
+func TestSeparatorCutLoop(t *testing.T) {
+	// max 2x0+2x1+x2 s.t. 3x0+3x1+2x2 ≤ 5 (binary): LP wants x0=x1=5/6;
+	// the cover cut x0+x1 ≤ 1 is valid and cuts it off.
+	p := &Prob{Name: "cover", IntegralObj: true}
+	p.AddVar("x0", 0, 1, -2, Binary)
+	p.AddVar("x1", 0, 1, -2, Binary)
+	p.AddVar("x2", 0, 1, -1, Binary)
+	p.AddRow("knap", lp.LE, 5, []lp.Nonzero{{Col: 0, Val: 3}, {Col: 1, Val: 3}, {Col: 2, Val: 2}})
+	sp := &knapCutSepa{}
+	s := NewSolver(p, DefaultSettings(), &Plugins{Separators: []Separator{sp}})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if got := -s.Incumbent().Obj; got != 3 {
+		t.Fatalf("obj = %v, want 3", got)
+	}
+	if sp.added == 0 {
+		t.Fatal("separator never added its cut")
+	}
+	if s.Stats.CutsAdded == 0 {
+		t.Fatal("cut statistics not recorded")
+	}
+}
+
+func TestCutDeduplication(t *testing.T) {
+	p := &Prob{Name: "dedup", IntegralObj: true}
+	p.AddVar("x", 0, 1, -1, Binary)
+	s := NewSolver(p, DefaultSettings(), nil)
+	root := &Node{ID: 0, Bound: math.Inf(-1)}
+	ctx := &Ctx{S: s, Node: root}
+	coefs := []lp.Nonzero{{Col: 0, Val: 1}}
+	if !ctx.AddCut(lp.LE, 1, coefs) {
+		t.Fatal("first cut rejected")
+	}
+	if ctx.AddCut(lp.LE, 1, coefs) {
+		t.Fatal("duplicate global cut accepted")
+	}
+	// Different rhs is a different cut.
+	if !ctx.AddCut(lp.LE, 0.5, coefs) {
+		t.Fatal("distinct cut rejected")
+	}
+}
+
+func TestCutBudget(t *testing.T) {
+	set := DefaultSettings()
+	set.MaxCutRows = 2
+	p := &Prob{Name: "budget", IntegralObj: true}
+	p.AddVar("x", 0, 1, -1, Binary)
+	s := NewSolver(p, set, nil)
+	ctx := &Ctx{S: s, Node: &Node{}}
+	if ctx.CutBudgetLeft() != 2 {
+		t.Fatalf("budget = %d", ctx.CutBudgetLeft())
+	}
+	ctx.AddCut(lp.LE, 1, []lp.Nonzero{{Col: 0, Val: 1}})
+	ctx.AddCut(lp.LE, 2, []lp.Nonzero{{Col: 0, Val: 1}})
+	if ctx.CutBudgetLeft() != 0 {
+		t.Fatalf("budget after 2 cuts = %d", ctx.CutBudgetLeft())
+	}
+}
+
+// heurAlwaysBest submits the known optimum.
+type heurAlwaysBest struct{ sol []float64 }
+
+func (*heurAlwaysBest) Name() string { return "oracle" }
+func (h *heurAlwaysBest) Search(ctx *Ctx) Result {
+	if ctx.SubmitSol(h.sol) {
+		return FoundSol
+	}
+	return DidNothing
+}
+
+func TestHeuristicSubmission(t *testing.T) {
+	p := &Prob{Name: "heur", IntegralObj: true}
+	p.AddVar("x0", 0, 1, -3, Binary)
+	p.AddVar("x1", 0, 1, -2, Binary)
+	p.AddRow("r", lp.LE, 1, []lp.Nonzero{{Col: 0, Val: 1}, {Col: 1, Val: 1}})
+	h := &heurAlwaysBest{sol: []float64{1, 0}}
+	s := NewSolver(p, DefaultSettings(), &Plugins{Heuristics: []Heuristic{h}})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if got := -s.Incumbent().Obj; got != 3 {
+		t.Fatalf("obj = %v, want 3", got)
+	}
+	// An infeasible heuristic solution must be rejected.
+	s2 := NewSolver(p, DefaultSettings(), &Plugins{Heuristics: []Heuristic{
+		&heurAlwaysBest{sol: []float64{1, 1}},
+	}})
+	s2.Solve()
+	if s2.Incumbent() != nil && s2.Incumbent().Obj < -3-1e-9 {
+		t.Fatal("infeasible heuristic solution accepted")
+	}
+}
+
+// constRelax returns a fixed valid bound.
+type constRelax struct{ bound float64 }
+
+func (*constRelax) Name() string { return "constrelax" }
+func (r *constRelax) Relax(ctx *Ctx) (float64, []float64, Result) {
+	return r.bound, nil, DidNothing
+}
+
+func TestRelaxatorImprovesBound(t *testing.T) {
+	// LP bound is −2 (both fractional vars at 1); a relaxator claiming
+	// bound −1.5 lets the root prune immediately after the incumbent −1
+	// is found (integral obj: cutoff −1−1+1e-6).
+	p := &Prob{Name: "relax", IntegralObj: true}
+	p.AddVar("x0", 0, 1, -1, Binary)
+	p.AddVar("x1", 0, 1, -1, Binary)
+	p.AddRow("r", lp.LE, 1, []lp.Nonzero{{Col: 0, Val: 1}, {Col: 1, Val: 1}})
+	s := NewSolver(p, DefaultSettings(), &Plugins{Relaxators: []Relaxator{&constRelax{bound: -1.2}}})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if got := -s.Incumbent().Obj; got != 1 {
+		t.Fatalf("obj = %v, want 1", got)
+	}
+	if s.Stats.Nodes != 1 {
+		t.Fatalf("relaxator bound should close the root, used %d nodes", s.Stats.Nodes)
+	}
+}
+
+// parityDef tests ProblemDef decision plumbing: data is a counter of
+// applied decisions.
+type parityData struct{ applied []Decision }
+type parityDef struct{}
+
+func (parityDef) Presolve(d any, _ float64) (any, float64) { return d, 0 }
+func (parityDef) BuildModel(d any) *Prob                   { panic("unused") }
+func (parityDef) CloneData(d any) any {
+	pd := d.(*parityData)
+	return &parityData{applied: append([]Decision(nil), pd.applied...)}
+}
+func (parityDef) ApplyDecision(d any, dec Decision) {
+	pd := d.(*parityData)
+	pd.applied = append(pd.applied, dec)
+}
+
+// decisionBrancher branches once via Decisions and then lets the
+// default rule take over.
+type decisionBrancher struct{ branched bool }
+
+func (*decisionBrancher) Name() string { return "decbrancher" }
+func (b *decisionBrancher) Branch(ctx *Ctx) ([]Child, Result) {
+	if b.branched {
+		return nil, DidNotRun
+	}
+	b.branched = true
+	return []Child{
+		{Decisions: []Decision{{Kind: "side", Flag: true}}, Bounds: []BoundChg{{Var: 0, Lo: 0, Up: 0}}},
+		{Decisions: []Decision{{Kind: "side", Flag: false}}, Bounds: []BoundChg{{Var: 0, Lo: 1, Up: 1}}},
+	}, Branched
+}
+
+func TestDecisionsReachNodeData(t *testing.T) {
+	p := &Prob{Name: "dec", IntegralObj: true, Data: &parityData{}}
+	p.AddVar("x0", 0, 1, -1, Binary)
+	p.AddVar("x1", 0, 1, -1, Binary)
+	// Fractional LP vertex (e.g. x = (1, 0.5)) so branching actually runs.
+	p.AddRow("r", lp.LE, 3, []lp.Nonzero{{Col: 0, Val: 2}, {Col: 1, Val: 2}})
+	var seen int
+	checkProp := propFunc(func(ctx *Ctx) Result {
+		if len(ctx.Data.(*parityData).applied) > 0 {
+			seen++
+		}
+		return DidNothing
+	})
+	s := NewSolver(p, DefaultSettings(), &Plugins{
+		Def:         parityDef{},
+		Branchers:   []Brancher{&decisionBrancher{}},
+		Propagators: []Propagator{checkProp},
+	})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if seen == 0 {
+		t.Fatal("decisions never reached node-local data")
+	}
+}
+
+// propFunc adapts a function to the Propagator interface.
+type propFunc func(ctx *Ctx) Result
+
+func (propFunc) Name() string                { return "func" }
+func (f propFunc) Propagate(ctx *Ctx) Result { return f(ctx) }
+
+func TestLocalCutsToggleWithSubtree(t *testing.T) {
+	// Build a solver, add a local cut at a child node, and verify the LP
+	// row toggling via the lp solver's RowEnabled.
+	p := &Prob{Name: "localcuts", IntegralObj: true}
+	p.AddVar("x", 0, 1, -1, Binary)
+	s := NewSolver(p, DefaultSettings(), nil)
+	root := &Node{ID: 0, Bound: math.Inf(-1)}
+	childA := &Node{ID: 1, Parent: root, Depth: 1}
+	childB := &Node{ID: 2, Parent: root, Depth: 1}
+	ctxA := &Ctx{S: s, Node: childA}
+	s.activate(childA)
+	if !ctxA.AddLocalCut(lp.LE, 0, []lp.Nonzero{{Col: 0, Val: 1}}) {
+		t.Fatal("local cut rejected")
+	}
+	row := s.baseRows // the first cut row
+	s.activate(childA)
+	if !s.lps.RowEnabled(row) {
+		t.Fatal("local cut disabled in its own subtree")
+	}
+	s.activate(childB)
+	if s.lps.RowEnabled(row) {
+		t.Fatal("local cut leaked into a sibling subtree")
+	}
+	s.activate(root)
+	if s.lps.RowEnabled(row) {
+		t.Fatal("local cut active at the parent")
+	}
+}

@@ -1,0 +1,119 @@
+// Package scip implements a plugin-based constraint-integer-programming
+// (CIP) branch-and-cut framework in the spirit of SCIP: a central
+// branch-and-bound driver around an LP (or custom) relaxation, extended
+// through plugins — presolvers, propagators, separators, primal
+// heuristics, constraint handlers, branching rules and relaxators.
+// Problem-specific solvers (the SCIP-Jack and SCIP-SDP analogues in
+// internal/steiner and internal/misdp) are built purely by registering
+// plugins, which is what makes the UG parallelization in internal/ug
+// applicable to them without modification — the property the paper's
+// ug[SCIP-*,*]-libraries exploit.
+package scip
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// VarType describes the integrality requirement of a variable.
+type VarType int8
+
+// Variable types.
+const (
+	Continuous VarType = iota
+	Binary
+	Integer
+)
+
+// Var is one decision variable of the (presolved) model.
+type Var struct {
+	Name string
+	Lo   float64
+	Up   float64
+	Obj  float64
+	Type VarType
+}
+
+// LinRow is a linear constraint of the initial model.
+type LinRow struct {
+	Name  string
+	Sense lp.Sense
+	RHS   float64
+	Coefs []lp.Nonzero
+}
+
+// Prob is a CIP instance: variables, initial linear rows, and an opaque
+// problem-data payload that problem-specific plugins (graph, SDP blocks)
+// interpret.
+type Prob struct {
+	Name        string
+	Vars        []Var
+	Rows        []LinRow
+	ObjOffset   float64
+	IntegralObj bool // objective provably integral on integer solutions
+	Data        any  // problem-specific payload (Steiner graph, SDP blocks, …)
+}
+
+// AddVar appends a variable and returns its index.
+func (p *Prob) AddVar(name string, lo, up, obj float64, vt VarType) int {
+	p.Vars = append(p.Vars, Var{Name: name, Lo: lo, Up: up, Obj: obj, Type: vt})
+	return len(p.Vars) - 1
+}
+
+// AddRow appends a linear row and returns its index.
+func (p *Prob) AddRow(name string, sense lp.Sense, rhs float64, coefs []lp.Nonzero) int {
+	p.Rows = append(p.Rows, LinRow{Name: name, Sense: sense, RHS: rhs, Coefs: append([]lp.Nonzero(nil), coefs...)})
+	return len(p.Rows) - 1
+}
+
+// Sol is a primal solution of the model.
+type Sol struct {
+	Obj float64
+	X   []float64
+}
+
+// Clone returns a deep copy of the solution.
+func (s *Sol) Clone() *Sol {
+	if s == nil {
+		return nil
+	}
+	return &Sol{Obj: s.Obj, X: append([]float64(nil), s.X...)}
+}
+
+// Decision is a problem-specific branching decision in a
+// solver-independent, serializable form — the piece of ug-0.8.6 that the
+// paper credits with letting ug[SCIP-Jack,MPI] catch up with SCIP-Jack's
+// constraint branching. Kind selects the interpreting handler; the
+// numeric fields are handler-defined.
+type Decision struct {
+	Kind string
+	V    int
+	Flag bool
+	Val  float64
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("%s(v=%d,flag=%v,val=%g)", d.Kind, d.V, d.Flag, d.Val)
+}
+
+// BoundChg is one variable bound change relative to the presolved model.
+type BoundChg struct {
+	Var    int
+	Lo, Up float64
+}
+
+// Subprob is the solver-independent encoding of a branch-and-bound
+// subproblem: the effective bound changes versus the presolved model plus
+// the root-path branching decisions. UG ships gob encodings of this
+// across its communication layer.
+type Subprob struct {
+	Bounds    []BoundChg
+	Decisions []Decision
+	Bound     float64 // dual (lower) bound inherited from the sender
+	Depth     int
+}
+
+// Infinity is the framework's infinite value.
+var Infinity = math.Inf(1)

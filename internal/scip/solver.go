@@ -1,0 +1,770 @@
+package scip
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status is the final state of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusUnknown Status = iota
+	StatusOptimal
+	StatusInfeasible
+	StatusInterrupted
+	StatusNodeLimit
+	StatusTimeLimit
+	StatusGapLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusInterrupted:
+		return "interrupted"
+	case StatusNodeLimit:
+		return "nodelimit"
+	case StatusTimeLimit:
+		return "timelimit"
+	case StatusGapLimit:
+		return "gaplimit"
+	}
+	return "unknown"
+}
+
+// Stats collects solver statistics; UG's status reports and the paper's
+// tables are assembled from these.
+type Stats struct {
+	Nodes        int64
+	LPIterations int64
+	CutsAdded    int64
+	SolsFound    int64
+	MaxDepth     int
+	RootTime     float64 // seconds spent on the root node
+	RootBound    float64
+	DeadEnds     int64 // nodes abandoned without proof (should stay 0)
+	PropFixings  int64
+}
+
+// Solver is one branch-and-bound solver instance over a presolved Prob.
+type Solver struct {
+	Prob *Prob
+	Set  Settings
+	Plug *Plugins
+
+	// Poll, when set, is invoked between nodes; returning false interrupts
+	// the solve (used by the UG ParaSolver wrapper to service messages).
+	Poll func(s *Solver) bool
+
+	lps       *lp.Solver
+	baseRows  int
+	cutOrigin []int64 // origin node ID per cut row (-1 = globally valid)
+	cutKeys   map[string]bool
+
+	tree       *tree
+	nextNodeID int64
+	incumbent  *Sol
+	curBound   float64 // bound of node being processed (for GlobalLB)
+
+	localLo, localUp []float64
+
+	Stats   Stats
+	start   time.Time
+	rng     *rand.Rand
+	jitter  []float64
+	pcUp    []float64 // pseudocost sums per variable
+	pcDown  []float64
+	pcUpN   []float64
+	pcDownN []float64
+}
+
+// NewSolver builds a solver over prob with the given settings/plugins.
+// prob must already be presolved (see ProblemDef.Presolve); the solver
+// never rebuilds the model.
+func NewSolver(prob *Prob, set Settings, plug *Plugins) *Solver {
+	set.apply()
+	if plug == nil {
+		plug = &Plugins{}
+	}
+	s := &Solver{
+		Prob: prob,
+		Set:  set,
+		Plug: plug,
+		tree: newTree(set.NodeSel),
+		rng:  rand.New(rand.NewSource(set.Seed*2654435761 + 12345)),
+	}
+	n := len(prob.Vars)
+	s.localLo = make([]float64, n)
+	s.localUp = make([]float64, n)
+	s.jitter = make([]float64, n)
+	s.pcUp = make([]float64, n)
+	s.pcDown = make([]float64, n)
+	s.pcUpN = make([]float64, n)
+	s.pcDownN = make([]float64, n)
+	if set.PermuteTieBreak {
+		for j := range s.jitter {
+			s.jitter[j] = s.rng.Float64() * 1e-4
+		}
+	}
+	if set.UseLP {
+		lpp := lp.NewProblem()
+		for _, v := range prob.Vars {
+			lpp.AddVar(v.Lo, v.Up, v.Obj)
+		}
+		for _, r := range prob.Rows {
+			lpp.AddRow(r.Sense, r.RHS, r.Coefs)
+		}
+		s.lps = lp.NewSolver(lpp)
+		if set.MaxLPIterations > 0 {
+			s.lps.MaxIters = set.MaxLPIterations
+		}
+		s.baseRows = len(prob.Rows)
+	}
+	return s
+}
+
+// addCut appends a cutting-plane row; origin < 0 marks it globally
+// valid. Duplicate global cuts are skipped (returns false).
+func (s *Solver) addCut(sense lp.Sense, rhs float64, coefs []lp.Nonzero, origin int64) bool {
+	if !s.Set.UseLP {
+		return false
+	}
+	if origin < 0 {
+		key := cutKey(sense, rhs, coefs)
+		if s.cutKeys == nil {
+			s.cutKeys = map[string]bool{}
+		}
+		if s.cutKeys[key] {
+			return false
+		}
+		s.cutKeys[key] = true
+	}
+	s.lps.AddRow(sense, rhs, coefs)
+	s.cutOrigin = append(s.cutOrigin, origin)
+	s.Stats.CutsAdded++
+	return true
+}
+
+// cutKey builds a canonical fingerprint of a row for deduplication.
+func cutKey(sense lp.Sense, rhs float64, coefs []lp.Nonzero) string {
+	idx := make([]int, len(coefs))
+	for i := range coefs {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return coefs[idx[a]].Col < coefs[idx[b]].Col })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%.9g", sense, rhs)
+	for _, i := range idx {
+		fmt.Fprintf(&b, ";%d:%.9g", coefs[i].Col, coefs[i].Val)
+	}
+	return b.String()
+}
+
+// cutoffValue returns the pruning threshold derived from the incumbent.
+func (s *Solver) cutoffValue() float64 {
+	if s.incumbent == nil {
+		return Infinity
+	}
+	if s.Prob.IntegralObj {
+		return s.incumbent.Obj - 1 + 1e-6
+	}
+	return s.incumbent.Obj - 1e-9*(1+math.Abs(s.incumbent.Obj))
+}
+
+// Incumbent returns the best solution found so far (model space).
+func (s *Solver) Incumbent() *Sol { return s.incumbent }
+
+// BestBound returns the global dual (lower) bound.
+func (s *Solver) BestBound() float64 {
+	lb := s.tree.best()
+	if s.curBound < lb {
+		lb = s.curBound
+	}
+	if lb == Infinity {
+		// Tree empty: the incumbent (if any) is proven optimal.
+		if s.incumbent != nil {
+			return s.incumbent.Obj
+		}
+	}
+	return lb
+}
+
+// NumOpen returns the number of open nodes.
+func (s *Solver) NumOpen() int { return s.tree.size() }
+
+// Gap returns the relative primal-dual gap (Inf when unbounded above).
+func (s *Solver) Gap() float64 {
+	if s.incumbent == nil {
+		return Infinity
+	}
+	lb := s.BestBound()
+	if math.IsInf(lb, -1) {
+		return Infinity
+	}
+	ub := s.incumbent.Obj
+	if math.Abs(ub) < 1e-12 {
+		return math.Abs(ub - lb)
+	}
+	return (ub - lb) / math.Abs(ub)
+}
+
+// InjectSolution installs an externally found solution (from a sibling
+// ParaSolver) after verifying feasibility. Returns true when installed.
+func (s *Solver) InjectSolution(sol *Sol) bool {
+	if sol == nil {
+		return false
+	}
+	return s.submitSolution(sol.X, true)
+}
+
+// verifyGlobal checks integrality, linear rows and constraint handlers on
+// the global (presolved) problem.
+func (s *Solver) verifyGlobal(x []float64) bool {
+	if len(x) != len(s.Prob.Vars) {
+		return false
+	}
+	for j, v := range s.Prob.Vars {
+		if x[j] < v.Lo-1e-6 || x[j] > v.Up+1e-6 {
+			return false
+		}
+		if v.Type != Continuous && math.Abs(x[j]-math.Round(x[j])) > 1e-6 {
+			return false
+		}
+	}
+	for _, r := range s.Prob.Rows {
+		var ax float64
+		for _, nz := range r.Coefs {
+			ax += nz.Val * x[nz.Col]
+		}
+		switch r.Sense {
+		case lp.LE:
+			if ax > r.RHS+1e-6 {
+				return false
+			}
+		case lp.GE:
+			if ax < r.RHS-1e-6 {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(ax-r.RHS) > 1e-6 {
+				return false
+			}
+		}
+	}
+	if len(s.Plug.Conshdlrs) > 0 {
+		gctx := &Ctx{S: s, Data: s.Prob.Data, rng: s.rng,
+			Node: &Node{Bound: math.Inf(-1)}}
+		for _, h := range s.Plug.Conshdlrs {
+			if !h.Check(gctx, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// submitSolution validates and possibly installs a new incumbent.
+func (s *Solver) submitSolution(x []float64, verify bool) bool {
+	var obj float64
+	for j := range s.Prob.Vars {
+		obj += s.Prob.Vars[j].Obj * x[j]
+	}
+	if s.incumbent != nil && obj >= s.cutoffValue() {
+		return false
+	}
+	if verify && !s.verifyGlobal(x) {
+		return false
+	}
+	xr := append([]float64(nil), x...)
+	// Round integral variables exactly.
+	for j, v := range s.Prob.Vars {
+		if v.Type != Continuous {
+			xr[j] = math.Round(xr[j])
+		}
+	}
+	s.incumbent = &Sol{Obj: obj, X: xr}
+	s.Stats.SolsFound++
+	s.tree.prune(s.cutoffValue())
+	return true
+}
+
+// effectiveBounds computes the bounds at node n by walking the root path.
+func (s *Solver) effectiveBounds(n *Node) (lo, up []float64) {
+	nv := len(s.Prob.Vars)
+	lo = make([]float64, nv)
+	up = make([]float64, nv)
+	for j := range s.Prob.Vars {
+		lo[j] = s.Prob.Vars[j].Lo
+		up[j] = s.Prob.Vars[j].Up
+	}
+	for _, nd := range n.path() {
+		for _, bc := range nd.BoundChgs {
+			if bc.Lo > lo[bc.Var] {
+				lo[bc.Var] = bc.Lo
+			}
+			if bc.Up < up[bc.Var] {
+				up[bc.Var] = bc.Up
+			}
+		}
+	}
+	return lo, up
+}
+
+// activate prepares LP bounds, local cut rows and node data for n.
+func (s *Solver) activate(n *Node) *Ctx {
+	s.localLo, s.localUp = s.effectiveBounds(n)
+	if s.Set.UseLP {
+		for j := range s.localLo {
+			s.lps.SetBound(j, s.localLo[j], s.localUp[j])
+		}
+		// Toggle local cuts by ancestry.
+		if len(s.cutOrigin) > 0 {
+			anc := make(map[int64]bool, n.Depth+1)
+			for cur := n; cur != nil; cur = cur.Parent {
+				anc[cur.ID] = true
+			}
+			for k, origin := range s.cutOrigin {
+				s.lps.SetRowEnabled(s.baseRows+k, origin < 0 || anc[origin])
+			}
+		}
+	}
+	ctx := &Ctx{S: s, Node: n, rng: s.rng}
+	if s.Plug.Def != nil {
+		decs := n.allDecisions()
+		if len(decs) > 0 {
+			ctx.Data = s.Plug.Def.CloneData(s.Prob.Data)
+			for _, d := range decs {
+				s.Plug.Def.ApplyDecision(ctx.Data, d)
+			}
+		} else {
+			ctx.Data = s.Plug.Def.CloneData(s.Prob.Data)
+		}
+	} else {
+		ctx.Data = s.Prob.Data
+	}
+	return ctx
+}
+
+// newChildNode allocates a child of parent.
+func (s *Solver) newChildNode(parent *Node, ch Child) *Node {
+	s.nextNodeID++
+	return &Node{
+		ID:        s.nextNodeID,
+		Depth:     parent.Depth + 1,
+		Bound:     parent.Bound,
+		Parent:    parent,
+		BoundChgs: ch.Bounds,
+		Decisions: ch.Decisions,
+	}
+}
+
+// Solve runs branch and bound from the root of the presolved problem.
+func (s *Solver) Solve() Status {
+	root := &Node{ID: 0, Bound: math.Inf(-1)}
+	s.nextNodeID = 0
+	s.tree.push(root)
+	return s.loop()
+}
+
+// SolveSubprob runs branch and bound on a received UG subproblem: its
+// bound changes and decisions seed the root node (the ParaSolver path).
+func (s *Solver) SolveSubprob(sub *Subprob) Status {
+	root := &Node{ID: 0, Bound: sub.Bound, Depth: sub.Depth}
+	for _, bc := range sub.Bounds {
+		root.BoundChgs = append(root.BoundChgs, bc)
+	}
+	root.Decisions = append(root.Decisions, sub.Decisions...)
+	s.nextNodeID = 0
+	s.tree.push(root)
+	return s.loop()
+}
+
+func (s *Solver) loop() Status {
+	s.start = time.Now()
+	for {
+		if s.Poll != nil && !s.Poll(s) {
+			s.curBound = Infinity
+			return StatusInterrupted
+		}
+		if s.Set.NodeLimit > 0 && s.Stats.Nodes >= s.Set.NodeLimit {
+			s.curBound = Infinity
+			return StatusNodeLimit
+		}
+		if s.Set.TimeLimit > 0 && time.Since(s.start).Seconds() > s.Set.TimeLimit {
+			s.curBound = Infinity
+			return StatusTimeLimit
+		}
+		if s.Set.GapLimit > 0 && s.Gap() <= s.Set.GapLimit {
+			s.curBound = Infinity
+			return StatusGapLimit
+		}
+		n := s.tree.pop()
+		if n == nil {
+			s.curBound = Infinity
+			if s.incumbent != nil {
+				return StatusOptimal
+			}
+			return StatusInfeasible
+		}
+		if n.Bound >= s.cutoffValue() {
+			continue
+		}
+		s.processNode(n)
+		s.curBound = Infinity
+	}
+}
+
+// processNode runs propagation, relaxation, enforcement, heuristics and
+// branching for one node.
+func (s *Solver) processNode(n *Node) {
+	isRoot := s.Stats.Nodes == 0
+	var rootStart time.Time
+	if isRoot {
+		rootStart = time.Now()
+	}
+	s.Stats.Nodes++
+	if n.Depth > s.Stats.MaxDepth {
+		s.Stats.MaxDepth = n.Depth
+	}
+	s.curBound = n.Bound
+	ctx := s.activate(n)
+
+	finishRoot := func() {
+		if isRoot {
+			s.Stats.RootTime = time.Since(rootStart).Seconds()
+			s.Stats.RootBound = n.Bound
+		}
+	}
+
+	// Domain propagation rounds.
+	for round := 0; round < s.Set.PropRounds; round++ {
+		changed := false
+		for _, prop := range s.Plug.Propagators {
+			res := prop.Propagate(ctx)
+			if ctx.infeasible {
+				finishRoot()
+				return
+			}
+			if res == Reduced {
+				changed = true
+				s.Stats.PropFixings++
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Relaxation + separation + enforcement loop.
+	var cand []float64
+	candRelaxOptimal := false
+	enforceRounds := 0
+	maxEnforce := 200 + 20*len(s.Prob.Vars)
+	for {
+		cand = nil
+		candRelaxOptimal = false
+		ctx.LPSol = nil
+		if s.Set.UseLP {
+			st := s.solveLPWithSeparation(ctx, n)
+			switch st {
+			case lpInfeasible:
+				finishRoot()
+				return
+			case lpCutoff:
+				finishRoot()
+				return
+			case lpOK:
+				cand = ctx.LPSol.X
+				candRelaxOptimal = true
+			case lpLimit:
+				if ctx.LPSol != nil {
+					cand = ctx.LPSol.X
+				}
+			}
+		}
+		// Relaxators (e.g. the SDP relaxation) may improve the bound and
+		// produce their own candidate.
+		relaxCut := false
+		for _, rel := range s.Plug.Relaxators {
+			rb, x, res := rel.Relax(ctx)
+			if res == Cutoff || ctx.infeasible {
+				finishRoot()
+				return
+			}
+			if rb > n.Bound {
+				n.Bound = rb
+			}
+			if x != nil {
+				ctx.RelaxX = x
+				cand = x
+				candRelaxOptimal = true
+			}
+			if res == Separated {
+				relaxCut = true
+			}
+		}
+		if n.Bound >= s.cutoffValue() {
+			finishRoot()
+			return
+		}
+		if relaxCut && enforceRounds < maxEnforce {
+			enforceRounds++
+			continue
+		}
+		if cand == nil || !ctx.IsIntegral(cand) {
+			break // go branch
+		}
+		// Integral candidate: constraint handlers decide.
+		violated := Conshdlr(nil)
+		for _, h := range s.Plug.Conshdlrs {
+			if !h.Check(ctx, cand) {
+				violated = h
+				break
+			}
+		}
+		if violated == nil {
+			if candRelaxOptimal {
+				// Relaxation-optimal and feasible: node solved.
+				s.submitSolution(cand, false)
+				finishRoot()
+				return
+			}
+			s.submitSolution(cand, true)
+			break
+		}
+		res := violated.Enforce(ctx, cand)
+		if ctx.infeasible || res == Cutoff {
+			finishRoot()
+			return
+		}
+		switch res {
+		case Separated:
+			enforceRounds++
+			if enforceRounds >= maxEnforce {
+				s.Stats.DeadEnds++
+				finishRoot()
+				return
+			}
+			continue
+		case Branched:
+			for _, ch := range ctx.children {
+				s.tree.push(s.newChildNode(n, ch))
+			}
+			finishRoot()
+			return
+		default:
+			// Handler could not make progress; fall through to branching.
+		}
+		break
+	}
+	finishRoot()
+
+	// Heuristics.
+	if s.Set.HeurFreq > 0 && (isRoot || s.Stats.Nodes%int64(s.Set.HeurFreq) == 0) {
+		for _, h := range s.Plug.Heuristics {
+			h.Search(ctx)
+		}
+	} else if isRoot {
+		for _, h := range s.Plug.Heuristics {
+			h.Search(ctx)
+		}
+	}
+	if n.Bound >= s.cutoffValue() {
+		return
+	}
+
+	// Branching.
+	for _, br := range s.Plug.Branchers {
+		children, res := br.Branch(ctx)
+		if ctx.infeasible {
+			return
+		}
+		if res == Branched || len(children) > 0 {
+			for _, ch := range children {
+				s.tree.push(s.newChildNode(n, ch))
+			}
+			for _, ch := range ctx.children {
+				s.tree.push(s.newChildNode(n, ch))
+			}
+			return
+		}
+	}
+	if len(ctx.children) > 0 {
+		for _, ch := range ctx.children {
+			s.tree.push(s.newChildNode(n, ch))
+		}
+		return
+	}
+	if s.branchBuiltin(ctx, n, cand) {
+		return
+	}
+	// Nothing to branch on and the node was not proven: record dead end
+	// (tests assert this never fires on the supported problem classes).
+	s.Stats.DeadEnds++
+}
+
+type lpStatus int8
+
+const (
+	lpOK lpStatus = iota
+	lpInfeasible
+	lpCutoff
+	lpLimit
+)
+
+// solveLPWithSeparation solves the node LP and runs the cutting-plane
+// loop; n.Bound is raised to the final LP value.
+func (s *Solver) solveLPWithSeparation(ctx *Ctx, n *Node) lpStatus {
+	maxRounds := s.Set.SepaRounds
+	if n.Depth > 0 {
+		maxRounds = s.Set.SepaRoundsLocal
+		if maxRounds <= 0 {
+			maxRounds = 1
+		}
+	}
+	for round := 0; ; round++ {
+		sol := s.lps.Solve()
+		s.Stats.LPIterations += int64(sol.Iters)
+		switch sol.Status {
+		case lp.Infeasible:
+			return lpInfeasible
+		case lp.Unbounded:
+			// Relaxation unbounded: no usable LP information.
+			return lpLimit
+		case lp.IterLimit:
+			ctx.LPSol = sol
+			return lpLimit
+		}
+		ctx.LPSol = sol
+		if sol.Obj > n.Bound {
+			n.Bound = sol.Obj
+		}
+		if n.Bound >= s.cutoffValue() {
+			return lpCutoff
+		}
+		if round >= maxRounds {
+			return lpOK
+		}
+		before := ctx.ncuts
+		for _, sep := range s.Plug.Separators {
+			sep.Separate(ctx)
+			if ctx.infeasible {
+				return lpInfeasible
+			}
+		}
+		if ctx.ncuts == before {
+			return lpOK
+		}
+	}
+}
+
+// branchBuiltin branches on a fractional integer variable (most
+// fractional, pseudocost, or random per settings); if the candidate is
+// integral or absent it bisects the widest unfixed integer domain.
+// Returns false when no branching is possible.
+func (s *Solver) branchBuiltin(ctx *Ctx, n *Node, cand []float64) bool {
+	bestJ := -1
+	var bestScore float64
+	if cand != nil {
+		for j, v := range s.Prob.Vars {
+			if v.Type == Continuous {
+				continue
+			}
+			f := cand[j] - math.Floor(cand[j])
+			frac := math.Min(f, 1-f)
+			if frac < 1e-6 {
+				continue
+			}
+			var score float64
+			switch s.Set.Branching {
+			case BranchPseudoCost:
+				up := s.pseudo(j, true)
+				down := s.pseudo(j, false)
+				score = (1-f)*down + f*up + 0.1*frac
+			case BranchRandom:
+				score = s.rng.Float64()
+			default:
+				score = frac
+			}
+			score += s.jitter[j]
+			if score > bestScore {
+				bestScore = score
+				bestJ = j
+			}
+		}
+	}
+	if bestJ >= 0 {
+		v := cand[bestJ]
+		floor := math.Floor(v)
+		down := Child{Bounds: []BoundChg{{Var: bestJ, Lo: s.localLo[bestJ], Up: floor}}}
+		up := Child{Bounds: []BoundChg{{Var: bestJ, Lo: floor + 1, Up: s.localUp[bestJ]}}}
+		// Push the more promising child last so DFS/plunge pops it first.
+		if v-floor > 0.5 {
+			s.tree.push(s.newChildNode(n, down))
+			s.tree.push(s.newChildNode(n, up))
+		} else {
+			s.tree.push(s.newChildNode(n, up))
+			s.tree.push(s.newChildNode(n, down))
+		}
+		s.recordPseudo(bestJ, v)
+		return true
+	}
+	// Fallback: bisect the widest unfixed integral domain.
+	widest, width := -1, 0.999
+	for j, v := range s.Prob.Vars {
+		if v.Type == Continuous {
+			continue
+		}
+		if w := s.localUp[j] - s.localLo[j]; w > width {
+			width = w
+			widest = j
+		}
+	}
+	if widest < 0 {
+		return false
+	}
+	mid := math.Floor((s.localLo[widest] + s.localUp[widest]) / 2)
+	s.tree.push(s.newChildNode(n, Child{Bounds: []BoundChg{{Var: widest, Lo: s.localLo[widest], Up: mid}}}))
+	s.tree.push(s.newChildNode(n, Child{Bounds: []BoundChg{{Var: widest, Lo: mid + 1, Up: s.localUp[widest]}}}))
+	return true
+}
+
+// pseudo returns the average objective degradation per unit for branching
+// j up/down, with an objective-based prior.
+func (s *Solver) pseudo(j int, up bool) float64 {
+	prior := math.Abs(s.Prob.Vars[j].Obj) + 1e-3
+	if up {
+		if s.pcUpN[j] == 0 {
+			return prior
+		}
+		return s.pcUp[j] / s.pcUpN[j]
+	}
+	if s.pcDownN[j] == 0 {
+		return prior
+	}
+	return s.pcDown[j] / s.pcDownN[j]
+}
+
+// recordPseudo updates pseudocosts with the fractionality at branch time
+// (a light-weight stand-in for SCIP's LP-gain bookkeeping).
+func (s *Solver) recordPseudo(j int, v float64) {
+	f := v - math.Floor(v)
+	s.pcDown[j] += f
+	s.pcDownN[j]++
+	s.pcUp[j] += 1 - f
+	s.pcUpN[j]++
+}
+
+// Elapsed returns the wall-clock time since Solve started.
+func (s *Solver) Elapsed() float64 { return time.Since(s.start).Seconds() }

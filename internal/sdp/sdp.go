@@ -1,0 +1,671 @@
+// Package sdp implements an interior-point solver for semidefinite
+// programs in the dual (linear matrix inequality) form used by SCIP-SDP:
+//
+//	sup  bᵀy
+//	s.t. C_k − Σ_i A_{k,i} y_i ⪰ 0   for every block k,
+//	     lo ≤ y ≤ up,   aᵀy ≤ rhs (linear rows),
+//
+// via a log-det barrier method with damped Newton steps. It stands in
+// for the interior-point engines (Mosek) the original SCIP-SDP links
+// against. The paper's penalty formulation — which SCIP-SDP uses to
+// retain solvability when branching destroys the Slater condition — is
+// built in: a slack multiple of the identity is added to every block and
+// driven to zero by a large penalty, so the barrier always has a
+// strictly feasible starting point.
+package sdp
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Block is one linear matrix inequality C − Σ A_i y_i ⪰ 0.
+type Block struct {
+	N int
+	C *linalg.Sym
+	// A[i] is variable i's coefficient matrix (nil = zero matrix).
+	A []*linalg.Sym
+}
+
+// Z evaluates C − Σ A_i y_i.
+func (b *Block) Z(y []float64) *linalg.Sym {
+	z := b.C.Clone()
+	for i, a := range b.A {
+		if a != nil && y[i] != 0 {
+			z.AddScaled(-y[i], a)
+		}
+	}
+	return z
+}
+
+// Row is a linear inequality aᵀy ≤ rhs.
+type Row struct {
+	Coef []float64
+	RHS  float64
+}
+
+// Problem is a dual-form SDP.
+type Problem struct {
+	M      int // number of variables
+	B      []float64
+	Lo, Up []float64
+	Blocks []*Block
+	Rows   []Row
+}
+
+// Status of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Solved Status = iota
+	Infeasible
+	NumericTrouble
+)
+
+// Result of a solve.
+type Result struct {
+	Status Status
+	Y      []float64
+	Obj    float64 // bᵀy at the returned (feasible) point
+	// UpperBound is Obj plus the estimated duality gap of the final
+	// barrier iterate — a bound on the SDP optimum used for pruning.
+	UpperBound float64
+	// Penalty is the final identity-slack value; ≈0 when the original
+	// problem was solved, larger when only the penalty formulation was
+	// feasible.
+	Penalty float64
+	Iters   int
+}
+
+// Options tune the solver.
+type Options struct {
+	Gamma   float64 // penalty weight (default 1e5 · scale)
+	MuInit  float64 // initial barrier weight (default from scale)
+	MuFinal float64 // final barrier weight (default 1e-7 · scale)
+	MaxIter int     // Newton iteration budget (default 2500)
+
+	// phase1 marks an internal feasibility-certification run (objective
+	// zero); it must not recurse into another phase-1 run.
+	phase1 bool
+	// startY warm-starts the clean (no-slack) barrier from a known
+	// strictly feasible point (used by the phase-1 rescue).
+	startY []float64
+}
+
+// Solve runs the barrier method on p. Variables whose box has
+// (numerically) collapsed — the way branch and bound fixes integers —
+// are eliminated into the constant terms first, which keeps the barrier
+// well conditioned.
+func Solve(p *Problem, opt Options) *Result {
+	fixed := make([]bool, p.M)
+	fixVal := make([]float64, p.M)
+	anyFixed := false
+	for i := 0; i < p.M; i++ {
+		if !math.IsInf(p.Lo[i], -1) && p.Up[i]-p.Lo[i] < 1e-7 {
+			fixed[i] = true
+			fixVal[i] = 0.5 * (p.Lo[i] + p.Up[i])
+			anyFixed = true
+		}
+	}
+	if !anyFixed {
+		if p.M == 0 {
+			return evalFixed(p)
+		}
+		return solveFull(p, opt)
+	}
+	// Build the reduced problem over the free variables.
+	var keep []int
+	for i := 0; i < p.M; i++ {
+		if !fixed[i] {
+			keep = append(keep, i)
+		}
+	}
+	red := &Problem{M: len(keep)}
+	var objOffset float64
+	for _, i := range keep {
+		red.B = append(red.B, p.B[i])
+		red.Lo = append(red.Lo, p.Lo[i])
+		red.Up = append(red.Up, p.Up[i])
+	}
+	for i := 0; i < p.M; i++ {
+		if fixed[i] {
+			objOffset += p.B[i] * fixVal[i]
+		}
+	}
+	for _, blk := range p.Blocks {
+		c := blk.C.Clone()
+		for i := 0; i < p.M; i++ {
+			if fixed[i] && blk.A[i] != nil && fixVal[i] != 0 {
+				c.AddScaled(-fixVal[i], blk.A[i])
+			}
+		}
+		a := make([]*linalg.Sym, len(keep))
+		for k, i := range keep {
+			a[k] = blk.A[i]
+		}
+		red.Blocks = append(red.Blocks, &Block{N: blk.N, C: c, A: a})
+	}
+	for _, r := range p.Rows {
+		rhs := r.RHS
+		coef := make([]float64, len(keep))
+		for k, i := range keep {
+			coef[k] = r.Coef[i]
+		}
+		for i := 0; i < p.M; i++ {
+			if fixed[i] {
+				rhs -= r.Coef[i] * fixVal[i]
+			}
+		}
+		// A row with no free support is either trivially true or an
+		// infeasibility certificate.
+		allZero := true
+		for _, v := range coef {
+			if v != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			if rhs < -1e-9 {
+				return &Result{Status: Infeasible}
+			}
+			continue
+		}
+		red.Rows = append(red.Rows, Row{Coef: coef, RHS: rhs})
+	}
+	var r *Result
+	if red.M == 0 {
+		r = evalFixed(red)
+	} else {
+		r = solveFull(red, opt)
+	}
+	// Expand back.
+	y := make([]float64, p.M)
+	for k, i := range keep {
+		if k < len(r.Y) {
+			y[i] = r.Y[k]
+		}
+	}
+	for i := 0; i < p.M; i++ {
+		if fixed[i] {
+			y[i] = fixVal[i]
+		}
+	}
+	r.Y = y
+	r.Obj += objOffset
+	if !math.IsInf(r.UpperBound, 1) {
+		r.UpperBound += objOffset
+	}
+	return r
+}
+
+// solveFull runs the barrier method without preprocessing.
+func solveFull(p *Problem, opt Options) *Result {
+	m := p.M
+	scale := 1.0
+	for _, bi := range p.B {
+		if a := math.Abs(bi); a > scale {
+			scale = a
+		}
+	}
+	if opt.Gamma <= 0 {
+		opt.Gamma = 10 * scale
+	}
+	if opt.MuInit <= 0 {
+		opt.MuInit = scale
+	}
+	if opt.MuFinal <= 0 {
+		opt.MuFinal = 1e-7 * scale
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 6000
+	}
+
+	// Extended variable vector: [y; s] with s the identity slack.
+	y := make([]float64, m+1)
+	for i := 0; i < m; i++ {
+		switch {
+		case !math.IsInf(p.Lo[i], -1) && !math.IsInf(p.Up[i], 1):
+			y[i] = 0.5 * (p.Lo[i] + p.Up[i])
+		case !math.IsInf(p.Lo[i], -1):
+			y[i] = p.Lo[i] + 1
+		case !math.IsInf(p.Up[i], 1):
+			y[i] = p.Up[i] - 1
+		}
+	}
+	// Initial slack: enough to make every block strictly positive and
+	// every linear row strictly slack (the slack also relaxes rows:
+	// aᵀy − s ≤ rhs).
+	s0 := 1.0
+	for _, blk := range p.Blocks {
+		lam, _ := linalg.MinEigen(blk.Z(y))
+		if need := -lam + 1; need > s0 {
+			s0 = need
+		}
+	}
+	for _, r := range p.Rows {
+		if need := dotDense(r.Coef, y[:m]) - r.RHS + 1; need > s0 {
+			s0 = need
+		}
+	}
+	y[m] = s0
+	warmStarted := false
+	if opt.startY != nil && strictlyFeasible(p, opt.startY, false) {
+		copy(y[:m], opt.startY)
+		y[m] = 0
+		warmStarted = true
+	}
+	res := &Result{Status: NumericTrouble, Y: append([]float64(nil), y[:m]...)}
+
+	mu := opt.MuInit
+	iters := 0
+	converged := true
+	useS := !warmStarted
+	// newtonStep performs one damped Newton iteration at the given mu,
+	// with an Armijo condition on the barrier value so the iterate tracks
+	// the central path. Returns the Newton decrement (−1 on failure).
+	newtonStep := func(mu float64) float64 {
+		ext := m
+		if useS {
+			ext = m + 1
+		}
+		grad, hess, ok := gradHess(p, y, mu, opt.Gamma, useS)
+		if !ok {
+			return -1
+		}
+		f0, ok := barrierValue(p, y, mu, opt.Gamma, useS)
+		if !ok {
+			return -1
+		}
+		// Newton: maximize ⇒ solve (−H) Δ = grad with −H SPD.
+		ch, err := linalg.Cholesky(hess)
+		if err != nil {
+			for i := 0; i < ext; i++ {
+				hess.A[i*ext+i] += 1e-10 * (1 + hess.MaxAbs())
+			}
+			ch, err = linalg.Cholesky(hess)
+			if err != nil {
+				return -1
+			}
+		}
+		delta := ch.Solve(grad)
+		var dec float64
+		for i := range delta {
+			dec += delta[i] * grad[i]
+		}
+		if dec < 0 {
+			return -1
+		}
+		cand := make([]float64, m+1)
+		copy(cand, y)
+		for t := 1.0; t > 1e-13; t *= 0.5 {
+			for i := 0; i < ext; i++ {
+				cand[i] = y[i] + t*delta[i]
+			}
+			fv, ok := barrierValue(p, cand, mu, opt.Gamma, useS)
+			if ok && fv >= f0+0.1*t*dec {
+				copy(y, cand)
+				return dec
+			}
+		}
+		return -1
+	}
+	runLevel := func(mu float64, cap int) {
+		for step := 0; step < cap; step++ {
+			iters++
+			if iters > opt.MaxIter {
+				return
+			}
+			dec := newtonStep(mu)
+			if dec < 0 || dec < 1e-9*mu+1e-12 {
+				return
+			}
+		}
+		if mu < 1e-3*opt.MuInit {
+			converged = false
+		}
+	}
+	// Phase P: drive the penalty slack down with the extended barrier,
+	// trying after every level to drop the slack — the moment the
+	// iterate is strictly feasible without it, the numerically hostile
+	// penalty dimension is removed for good. Running the deep-μ levels
+	// with the slack alive is never attempted: near the optimum both the
+	// slack and the binding blocks vanish together and the Newton system
+	// loses all precision.
+	if useS {
+		switchAt := math.Max(opt.MuFinal, 1e-4*opt.MuInit)
+		for ; mu >= switchAt && iters <= opt.MaxIter; mu *= 0.2 {
+			runLevel(mu, 400)
+			if strictlyFeasible(p, y, false) {
+				useS = false
+				y[m] = 0
+				mu *= 0.2
+				break
+			}
+		}
+	}
+	if !useS {
+		// Phase C: clean barrier on the original problem down to μ_final,
+		// then polish so the certified bound's residual term vanishes.
+		for ; mu >= opt.MuFinal && iters <= opt.MaxIter; mu *= 0.2 {
+			runLevel(mu, 60)
+		}
+		muF := mu / 0.2
+		for step := 0; step < 60 && iters <= opt.MaxIter; step++ {
+			iters++
+			dec := newtonStep(muF)
+			if dec < 0 || dec < 1e-16*(1+scale) {
+				break
+			}
+		}
+		res.Iters = iters
+		finishAt(p, res, y, muF)
+		res.Penalty = 0
+		res.Status = Solved
+		return res
+	}
+	// The slack could not be dropped within phase P.
+	res.Iters = iters
+	finishAt(p, res, y, mu/0.2)
+	res.Status = Solved
+	if res.Penalty > 1e-4*(1+math.Abs(res.Obj)/math.Max(1, scale)) && !opt.phase1 {
+		// The identity slack would not go to zero: either the problem is
+		// infeasible, or the objective pull trapped the penalty phase
+		// against the boundary. A phase-1 run (zero objective) settles
+		// it: if it reaches a strictly feasible point, re-solve cleanly
+		// from there; if its certified upper bound on sup 0 is negative,
+		// no feasible point exists.
+		q := &Problem{M: p.M, B: make([]float64, p.M), Lo: p.Lo, Up: p.Up, Blocks: p.Blocks, Rows: p.Rows}
+		ph := solveFull(q, Options{Gamma: opt.Gamma, MaxIter: opt.MaxIter, phase1: true})
+		switch {
+		case ph.Penalty < 1e-8*(1+scale) && strictlyFeasible(p, ph.Y, false):
+			o2 := opt
+			o2.phase1 = true // prevent further rescues
+			o2.startY = ph.Y
+			r2 := solveFull(p, o2)
+			r2.Iters += res.Iters + ph.Iters
+			return r2
+		case ph.UpperBound < -1e-7:
+			res.Status = Infeasible
+		default:
+			if !converged {
+				res.Status = NumericTrouble
+			}
+		}
+	}
+	return res
+}
+
+// finishAt fills the result from the current iterate. When the barrier
+// did not converge to the central path, the duality-gap estimate is not
+// a trustworthy bound and +Inf is reported instead (the branch-and-bound
+// layer then branches rather than prunes — safe, just slower).
+func finishAt(p *Problem, res *Result, y []float64, mu float64) {
+	m := p.M
+	res.Y = append([]float64(nil), y[:m]...)
+	res.Penalty = y[m]
+	var obj float64
+	for i := 0; i < m; i++ {
+		obj += p.B[i] * y[i]
+	}
+	res.Obj = obj
+	// Certified bound from the barrier's dual multipliers: valid at any
+	// iterate (convergence only affects its tightness), see bound.go.
+	res.UpperBound = rigorousUpperBound(p, y[:m], y[m], mu)
+}
+
+// strictlyFeasible checks Z_k(y) + s·I ≻ 0, box interiority and row
+// slack; useS=false checks the original system (s treated as 0, y has
+// length m).
+func strictlyFeasible(p *Problem, y []float64, useS bool) bool {
+	m := p.M
+	s := 0.0
+	if useS {
+		s = y[m]
+		if s < 1e-12 {
+			return false
+		}
+	}
+	for i := 0; i < m; i++ {
+		if !math.IsInf(p.Lo[i], -1) && y[i] <= p.Lo[i] {
+			return false
+		}
+		if !math.IsInf(p.Up[i], 1) && y[i] >= p.Up[i] {
+			return false
+		}
+	}
+	for _, r := range p.Rows {
+		if dotDense(r.Coef, y[:m])-s >= r.RHS {
+			return false
+		}
+	}
+	for _, blk := range p.Blocks {
+		z := blk.Z(y[:m])
+		for i := 0; i < blk.N; i++ {
+			z.A[i*blk.N+i] += s
+		}
+		if _, err := linalg.Cholesky(z); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func dotDense(a, y []float64) float64 {
+	var acc float64
+	for i, v := range a {
+		if v != 0 {
+			acc += v * y[i]
+		}
+	}
+	return acc
+}
+
+// gradHess evaluates the gradient of the barrier objective
+// f(y,s) = bᵀy − Γs + μ[Σ logdet(Z_k+sI) + box/row/s barriers]
+// and −Hessian (returned SPD for Cholesky).
+func gradHess(p *Problem, y []float64, mu, gamma float64, useS bool) (grad []float64, negHess *linalg.Sym, ok bool) {
+	m := p.M
+	ext := m
+	if useS {
+		ext = m + 1
+	}
+	grad = make([]float64, ext)
+	negHess = linalg.NewSym(ext)
+	for i := 0; i < m; i++ {
+		grad[i] = p.B[i]
+	}
+	s := 0.0
+	if useS {
+		// s ≥ 0 barrier and penalty.
+		s = y[m]
+		grad[m] = -gamma + mu/s
+		negHess.A[m*ext+m] += mu / (s * s)
+	}
+
+	// Box barriers.
+	for i := 0; i < m; i++ {
+		if !math.IsInf(p.Lo[i], -1) {
+			d := y[i] - p.Lo[i]
+			grad[i] += mu / d
+			negHess.A[i*ext+i] += mu / (d * d)
+		}
+		if !math.IsInf(p.Up[i], 1) {
+			d := p.Up[i] - y[i]
+			grad[i] -= mu / d
+			negHess.A[i*ext+i] += mu / (d * d)
+		}
+	}
+	// Linear row barriers: log(rhs − aᵀy + s); the gradient/Hessian thus
+	// also carry s-components (coefficient −1 on s).
+	for _, r := range p.Rows {
+		slack := r.RHS - dotDense(r.Coef, y[:m]) + s
+		if slack <= 0 {
+			return nil, nil, false
+		}
+		coefExt := func(i int) float64 {
+			if i == m {
+				return -1
+			}
+			return r.Coef[i]
+		}
+		for i := 0; i < ext; i++ {
+			ai := coefExt(i)
+			if ai == 0 {
+				continue
+			}
+			grad[i] -= mu * ai / slack
+			for j := 0; j < ext; j++ {
+				aj := coefExt(j)
+				if aj != 0 {
+					negHess.A[i*ext+j] += mu * ai * aj / (slack * slack)
+				}
+			}
+		}
+	}
+	// Block barriers: d/dy_i logdet(Z+sI) = −tr(Zinv A_i); d/ds = tr(Zinv).
+	for _, blk := range p.Blocks {
+		z := blk.Z(y[:m])
+		for i := 0; i < blk.N; i++ {
+			z.A[i*blk.N+i] += s
+		}
+		ch, err := linalg.Cholesky(z)
+		if err != nil {
+			return nil, nil, false
+		}
+		zinv := ch.Inverse()
+		// Precompute W_i = Zinv·A_i (as full product for trace forms).
+		prods := make([]*linalg.Sym, m)
+		for i := 0; i < m; i++ {
+			if blk.A[i] == nil {
+				continue
+			}
+			prods[i] = symProduct(zinv, blk.A[i])
+		}
+		for i := 0; i < m; i++ {
+			if prods[i] == nil {
+				continue
+			}
+			grad[i] -= mu * prods[i].Trace()
+		}
+		// Hessian entries: H_ij = −μ tr(Zinv A_i Zinv A_j); −H is PSD.
+		for i := 0; i < m; i++ {
+			if prods[i] == nil {
+				continue
+			}
+			for j := i; j < m; j++ {
+				if prods[j] == nil {
+					continue
+				}
+				v := mu * traceProduct(prods[i], prods[j])
+				negHess.A[i*ext+j] += v
+				if i != j {
+					negHess.A[j*ext+i] += v
+				}
+			}
+			if useS {
+				// Cross terms with s: the slack's coefficient matrix is
+				// A_s = −I, so H_is = +μ tr(Zinv A_i Zinv) and the negated
+				// Hessian entry is −μ tr(Zinv A_i Zinv).
+				v := mu * traceProduct(prods[i], zinv)
+				negHess.A[i*ext+m] -= v
+				negHess.A[m*ext+i] -= v
+			}
+		}
+		if useS {
+			grad[m] += mu * zinv.Trace()
+			// s-s entry: tr(Zinv Zinv).
+			negHess.A[m*ext+m] += mu * zinv.InnerProd(zinv)
+		}
+	}
+	return grad, negHess, true
+}
+
+// symProduct computes P = X·Y for symmetric X, Y (P generally not
+// symmetric; stored densely in a Sym container for convenience).
+func symProduct(x, y *linalg.Sym) *linalg.Sym {
+	n := x.N
+	p := linalg.NewSym(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			xik := x.A[i*n+k]
+			if xik == 0 {
+				continue
+			}
+			row := y.A[k*n:]
+			for j := 0; j < n; j++ {
+				p.A[i*n+j] += xik * row[j]
+			}
+		}
+	}
+	return p
+}
+
+// traceProduct computes tr(P·Q) for dense square P, Q.
+func traceProduct(p, q *linalg.Sym) float64 {
+	n := p.N
+	var acc float64
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			acc += p.A[i*n+k] * q.A[k*n+i]
+		}
+	}
+	return acc
+}
+
+// barrierValue evaluates the penalty-barrier objective
+// f(y,s) = bᵀy − Γs + μ[Σ logdet(Z_k+sI) + log s + box/row logs];
+// ok=false when (y,s) is not strictly feasible.
+func barrierValue(p *Problem, y []float64, mu, gamma float64, useS bool) (float64, bool) {
+	m := p.M
+	s := 0.0
+	logs := 0.0
+	var f float64
+	for i := 0; i < m; i++ {
+		f += p.B[i] * y[i]
+	}
+	if useS {
+		s = y[m]
+		if s < 1e-300 {
+			return 0, false
+		}
+		f -= gamma * s
+		logs = math.Log(s)
+	}
+	for i := 0; i < m; i++ {
+		if !math.IsInf(p.Lo[i], -1) {
+			d := y[i] - p.Lo[i]
+			if d <= 0 {
+				return 0, false
+			}
+			logs += math.Log(d)
+		}
+		if !math.IsInf(p.Up[i], 1) {
+			d := p.Up[i] - y[i]
+			if d <= 0 {
+				return 0, false
+			}
+			logs += math.Log(d)
+		}
+	}
+	for _, r := range p.Rows {
+		slack := r.RHS - dotDense(r.Coef, y[:m]) + s
+		if slack <= 0 {
+			return 0, false
+		}
+		logs += math.Log(slack)
+	}
+	for _, blk := range p.Blocks {
+		z := blk.Z(y[:m])
+		for i := 0; i < blk.N; i++ {
+			z.A[i*blk.N+i] += s
+		}
+		ch, err := linalg.Cholesky(z)
+		if err != nil {
+			return 0, false
+		}
+		logs += ch.LogDet()
+	}
+	return f + mu*logs, true
+}

@@ -1,0 +1,280 @@
+package sdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func sym(n int, vals ...float64) *linalg.Sym {
+	return linalg.SymFromDense(n, vals)
+}
+
+func TestScalarSDP(t *testing.T) {
+	// max y s.t. 1 − y ≥ 0 (1×1 block), y ∈ [0, 10] → 1.
+	p := &Problem{
+		M:      1,
+		B:      []float64{1},
+		Lo:     []float64{0},
+		Up:     []float64{10},
+		Blocks: []*Block{{N: 1, C: sym(1, 1), A: []*linalg.Sym{sym(1, 1)}}},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Solved {
+		t.Fatalf("status %v", r.Status)
+	}
+	if math.Abs(r.Obj-1) > 1e-3 {
+		t.Fatalf("obj = %v, want 1", r.Obj)
+	}
+	if r.UpperBound < 1-1e-9 {
+		t.Fatalf("upper bound %v below optimum", r.UpperBound)
+	}
+	if r.UpperBound > 1.05 {
+		t.Fatalf("upper bound %v too loose", r.UpperBound)
+	}
+}
+
+func TestOffDiagonalSDP(t *testing.T) {
+	// max y s.t. [[1,y],[y,1]] ⪰ 0 → |y| ≤ 1 → 1.
+	p := &Problem{
+		M:  1,
+		B:  []float64{1},
+		Lo: []float64{-5},
+		Up: []float64{5},
+		Blocks: []*Block{{
+			N: 2,
+			C: sym(2, 1, 0, 0, 1),
+			A: []*linalg.Sym{sym(2, 0, -1, -1, 0)},
+		}},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Solved || math.Abs(r.Obj-1) > 1e-2 {
+		t.Fatalf("obj = %v status %v, want 1", r.Obj, r.Status)
+	}
+	if r.UpperBound < 1-1e-9 {
+		t.Fatalf("invalid upper bound %v", r.UpperBound)
+	}
+}
+
+func TestBoxBindsBeforeSDP(t *testing.T) {
+	p := &Problem{
+		M:      1,
+		B:      []float64{1},
+		Lo:     []float64{0},
+		Up:     []float64{0.5},
+		Blocks: []*Block{{N: 1, C: sym(1, 1), A: []*linalg.Sym{sym(1, 1)}}},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Solved || math.Abs(r.Obj-0.5) > 1e-3 {
+		t.Fatalf("obj = %v, want 0.5", r.Obj)
+	}
+}
+
+func TestLinearRowBinds(t *testing.T) {
+	// max y1 + y2 s.t. y1 + y2 ≤ 1, loose SDP, box [0,5]².
+	p := &Problem{
+		M:  2,
+		B:  []float64{1, 1},
+		Lo: []float64{0, 0},
+		Up: []float64{5, 5},
+		Blocks: []*Block{{
+			N: 1, C: sym(1, 100),
+			A: []*linalg.Sym{sym(1, 1), sym(1, 1)},
+		}},
+		Rows: []Row{{Coef: []float64{1, 1}, RHS: 1}},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Solved || math.Abs(r.Obj-1) > 1e-2 {
+		t.Fatalf("obj = %v, want 1", r.Obj)
+	}
+}
+
+func TestInfeasibleSDP(t *testing.T) {
+	// Z = −2 − y with y ∈ [0,1]: never PSD.
+	p := &Problem{
+		M:      1,
+		B:      []float64{1},
+		Lo:     []float64{0},
+		Up:     []float64{1},
+		Blocks: []*Block{{N: 1, C: sym(1, -2), A: []*linalg.Sym{sym(1, 1)}}},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v penalty = %v, want infeasible", r.Status, r.Penalty)
+	}
+}
+
+func TestTwoBlocks(t *testing.T) {
+	// max y1+2y2, blocks (2−y1 ⪰ 0) and (3−y2 ⪰ 0) → 2 + 6 = 8.
+	p := &Problem{
+		M:  2,
+		B:  []float64{1, 2},
+		Lo: []float64{0, 0},
+		Up: []float64{10, 10},
+		Blocks: []*Block{
+			{N: 1, C: sym(1, 2), A: []*linalg.Sym{sym(1, 1), nil}},
+			{N: 1, C: sym(1, 3), A: []*linalg.Sym{nil, sym(1, 1)}},
+		},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Solved || math.Abs(r.Obj-8) > 2e-2 {
+		t.Fatalf("obj = %v, want 8", r.Obj)
+	}
+}
+
+// gridOptimum brute-forces max bᵀy over a fine grid with eigenvalue
+// feasibility checks (m ≤ 2 only).
+func gridOptimum(p *Problem, steps int) float64 {
+	best := math.Inf(-1)
+	feasible := func(y []float64) bool {
+		for _, r := range p.Rows {
+			if dotDense(r.Coef, y) > r.RHS+1e-12 {
+				return false
+			}
+		}
+		for _, blk := range p.Blocks {
+			lam, _ := linalg.MinEigen(blk.Z(y))
+			if lam < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	switch p.M {
+	case 1:
+		for i := 0; i <= steps; i++ {
+			y := []float64{p.Lo[0] + (p.Up[0]-p.Lo[0])*float64(i)/float64(steps)}
+			if feasible(y) {
+				if v := p.B[0] * y[0]; v > best {
+					best = v
+				}
+			}
+		}
+	case 2:
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				y := []float64{
+					p.Lo[0] + (p.Up[0]-p.Lo[0])*float64(i)/float64(steps),
+					p.Lo[1] + (p.Up[1]-p.Lo[1])*float64(j)/float64(steps),
+				}
+				if feasible(y) {
+					if v := p.B[0]*y[0] + p.B[1]*y[1]; v > best {
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Property: on random 2-variable SDPs, the solver's objective is within
+// tolerance of the grid optimum, below the upper bound, and feasible.
+func TestRandomSDPsAgainstGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	solved := 0
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(3)
+		mk := func() *linalg.Sym {
+			s := linalg.NewSym(n)
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					s.Set(i, j, rng.NormFloat64())
+				}
+			}
+			return s
+		}
+		// C = M Mᵀ + I ensures y=0 strictly feasible.
+		c := linalg.NewSym(n)
+		for i := 0; i < n; i++ {
+			c.Set(i, i, 1+rng.Float64())
+		}
+		p := &Problem{
+			M:  2,
+			B:  []float64{1 + rng.Float64(), rng.NormFloat64()},
+			Lo: []float64{-2, -2},
+			Up: []float64{2, 2},
+			Blocks: []*Block{{
+				N: n, C: c,
+				A: []*linalg.Sym{mk(), mk()},
+			}},
+		}
+		want := gridOptimum(p, 120)
+		if math.IsInf(want, -1) {
+			continue
+		}
+		r := Solve(p, Options{})
+		if r.Status != Solved {
+			continue
+		}
+		solved++
+		// Feasibility of the returned point.
+		for _, blk := range p.Blocks {
+			lam, _ := linalg.MinEigen(blk.Z(r.Y))
+			if lam < -1e-5 {
+				t.Fatalf("trial %d: returned point infeasible (λmin=%v)", trial, lam)
+			}
+		}
+		if r.Obj > want+0.1 {
+			// (grid resolution limits how tightly this can be checked)
+			t.Fatalf("trial %d: obj %v exceeds grid optimum %v", trial, r.Obj, want)
+		}
+		if r.Obj < want-0.15*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: obj %v far below grid optimum %v", trial, r.Obj, want)
+		}
+		if r.UpperBound < want-2e-2*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: upper bound %v below optimum %v", trial, r.UpperBound, want)
+		}
+	}
+	if solved < 15 {
+		t.Fatalf("only %d/25 random SDPs solved", solved)
+	}
+}
+
+func TestFixedVariablesViaBounds(t *testing.T) {
+	// Branch-and-bound fixes integers by collapsing bounds; the barrier
+	// must cope with a (nearly) collapsed box.
+	p := &Problem{
+		M:  2,
+		B:  []float64{1, 1},
+		Lo: []float64{1, 0},
+		Up: []float64{1 + 1e-9, 3},
+		Blocks: []*Block{{
+			N: 1, C: sym(1, 4),
+			A: []*linalg.Sym{sym(1, 1), sym(1, 1)},
+		}},
+	}
+	r := Solve(p, Options{})
+	if r.Status != Solved {
+		t.Fatalf("status %v", r.Status)
+	}
+	// y1 ≈ 1, y2 ≤ 3 with 4 − y1 − y2 ≥ 0 → y2 = 3 → obj 4.
+	if math.Abs(r.Obj-4) > 5e-2 {
+		t.Fatalf("obj = %v, want 4", r.Obj)
+	}
+}
+
+func TestPenaltyReportsSlaterFailure(t *testing.T) {
+	// Feasible set is the single point y=1 (1−y ⪰ 0 and y−1 ⪰ 0): no
+	// strict interior, so the penalty stays positive at moderate Γ but
+	// the objective still approaches 1.
+	p := &Problem{
+		M:  1,
+		B:  []float64{1},
+		Lo: []float64{0},
+		Up: []float64{2},
+		Blocks: []*Block{
+			{N: 1, C: sym(1, 1), A: []*linalg.Sym{sym(1, 1)}},
+			{N: 1, C: sym(1, -1), A: []*linalg.Sym{sym(1, -1)}},
+		},
+	}
+	r := Solve(p, Options{})
+	// Either the solver converges to ≈1, or it must report an untrusted
+	// (+Inf) bound — what it may never do is return a "trusted" bound
+	// below the feasible value 1.
+	if r.UpperBound < 1-1e-6 {
+		t.Fatalf("upper bound %v cut off the feasible point", r.UpperBound)
+	}
+}

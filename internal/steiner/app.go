@@ -1,0 +1,66 @@
+package steiner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scip"
+)
+
+// This file is the analogue of stp_plugins.cpp in the paper's
+// ug_scip_applications/STP: the complete "glue code" needed to turn the
+// sequential SCIP-Jack plugin set into ug[SCIP-Jack,*]. Everything else
+// lives in the sequential solver; the paper's headline is that this
+// registration stays under 200 lines.
+
+// DefaultSettings returns the sequential SCIP-Jack configuration.
+func DefaultSettings() scip.Settings {
+	s := scip.DefaultSettings()
+	s.Name = "stp-default"
+	s.NodeSel = scip.HybridPlunge
+	s.SepaRounds = 20 // strong root separation closes most of the gap
+	s.MaxCutRows = 300
+	return s
+}
+
+// RacingLadder builds the settings variations used during racing
+// ramp-up: node selection, branching rule, emphasis, separation
+// aggressiveness and tie-break permutations vary per ParaSolver so each
+// generates a different search tree.
+func RacingLadder(n int) []scip.Settings {
+	nodesel := []scip.NodeSelection{scip.HybridPlunge, scip.BestBound, scip.DepthFirst}
+	branch := []scip.BranchRule{scip.BranchPseudoCost, scip.BranchMostFractional, scip.BranchRandom}
+	emph := []scip.Emphasis{scip.EmphDefault, scip.EmphEasyCIP, scip.EmphAggressive, scip.EmphFeasibility}
+	out := make([]scip.Settings, 0, n)
+	for i := 0; i < n; i++ {
+		s := DefaultSettings()
+		s.Name = fmt.Sprintf("stp-%d-%s", i+1, emph[i%len(emph)].String())
+		s.Emphasis = emph[i%len(emph)]
+		s.NodeSel = nodesel[i%len(nodesel)]
+		s.Branching = branch[(i/2)%len(branch)]
+		s.Seed = int64(1000 + 37*i)
+		s.PermuteTieBreak = i > 0
+		out = append(out, s)
+	}
+	return out
+}
+
+// NewApp registers the SCIP-Jack user plugins for the ug[SCIP-*,*]
+// glue layer, yielding ug[SCIP-Jack,*].
+func NewApp(instance *SPG) core.App {
+	return core.App{
+		Name:        "SCIP-Jack",
+		Def:         &Def{},
+		Data:        instance,
+		MakePlugins: func() *scip.Plugins { return NewPlugins() },
+		Settings:    append([]scip.Settings{DefaultSettings()}, RacingLadder(15)...),
+	}
+}
+
+// NewAppWithSettings is NewApp with an explicit settings ladder
+// (Settings[0] is the default configuration).
+func NewAppWithSettings(instance *SPG, settings []scip.Settings) core.App {
+	app := NewApp(instance)
+	app.Settings = settings
+	return app
+}

@@ -1,0 +1,270 @@
+package steiner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/scip"
+)
+
+// Instance is the model-level problem data: the (presolved) SPG plus the
+// static arc↔variable mapping shared by all branch-and-bound nodes and
+// all ParaSolvers. Node-local clones share the mapping and the original
+// terminal mask; only the SPG is deep-copied.
+type Instance struct {
+	SPG    *SPG
+	Root   int
+	VarArc []int // variable j ↔ arc VarArc[j]
+	ArcVar []int // arc a → variable index, −1 if no variable
+	// OrigTerminal marks terminals of the presolved instance; cuts for
+	// these are globally valid, cuts for branching-added terminals only
+	// locally.
+	OrigTerminal []bool
+}
+
+// clone deep-copies the node-local mutable part.
+func (in *Instance) clone() *Instance {
+	return &Instance{
+		SPG:          in.SPG.Clone(),
+		Root:         in.Root,
+		VarArc:       in.VarArc,
+		ArcVar:       in.ArcVar,
+		OrigTerminal: in.OrigTerminal,
+	}
+}
+
+// DecisionKind is the Decision.Kind for Steiner vertex branching.
+const DecisionKind = "stp-vertex"
+
+// Def implements scip.ProblemDef for the Steiner tree problem. It also
+// retains the presolve trace for retransforming solutions to the
+// original graph.
+type Def struct {
+	TraceOut  *Trace
+	StatsOut  *ReduceStats
+	NoReduce  bool // disable presolve reductions (for ablations)
+	MaxRounds int
+}
+
+// Presolve implements scip.ProblemDef: graph reductions with
+// contractions; the cost of mandatory (contracted) edges becomes the
+// objective offset.
+func (d *Def) Presolve(data any, _ float64) (any, float64) {
+	spg := data.(*SPG)
+	if d.NoReduce {
+		d.TraceOut = &Trace{Parent: map[int][2]int{}}
+		d.StatsOut = &ReduceStats{}
+		return spg, 0
+	}
+	tr, st := Reduce(spg, d.MaxRounds)
+	d.TraceOut = tr
+	d.StatsOut = st
+	return spg, tr.Offset
+}
+
+// BuildModel implements scip.ProblemDef: the flow-balance directed-cut
+// formulation (Formulation 1 of the paper). Binary arc variables carry
+// the edge cost; static rows are the flow-balance strengthenings (5) and
+// (6), in-degree bounds, and in-degree equalities for terminals. The
+// exponential family of directed Steiner cuts (4) is separated lazily by
+// the cut separator / constraint handler.
+func (d *Def) BuildModel(data any) *scip.Prob {
+	spg := data.(*SPG)
+	root := spg.Root()
+	inst := &Instance{
+		SPG:          spg,
+		Root:         root,
+		ArcVar:       make([]int, 2*spg.G.NumEdges()),
+		OrigTerminal: append([]bool(nil), spg.Terminal...),
+	}
+	prob := &scip.Prob{Name: "stp:" + spg.Name, IntegralObj: integralCosts(spg), Data: inst}
+	for a := range inst.ArcVar {
+		inst.ArcVar[a] = -1
+	}
+	if root < 0 {
+		return prob // no terminals: empty model
+	}
+	for e := 0; e < spg.G.NumEdges(); e++ {
+		if !spg.G.EdgeAlive(e) {
+			continue
+		}
+		for o := 0; o < 2; o++ {
+			a := 2*e + o
+			up := 1.0
+			if spg.ArcHead(a) == root {
+				up = 0 // no arcs into the root of the arborescence
+			}
+			j := prob.AddVar(fmt.Sprintf("y_%d", a), 0, up, spg.G.Cost(e), scip.Binary)
+			inst.VarArc = append(inst.VarArc, a)
+			inst.ArcVar[a] = j
+		}
+	}
+	// Seed the LP with the cuts raised by Wong's dual ascent — the
+	// initial-row selection SCIP-Jack performs after presolving.
+	if spg.NumTerminals() > 1 {
+		da := DualAscent(spg, root)
+		maxInit := 400
+		for i := len(da.Cuts) - 1; i >= 0 && maxInit > 0; i-- {
+			var coefs []lp.Nonzero
+			for _, a := range da.Cuts[i] {
+				if j := inst.ArcVar[a]; j >= 0 {
+					coefs = append(coefs, lp.Nonzero{Col: j, Val: 1})
+				}
+			}
+			if len(coefs) > 0 {
+				prob.AddRow(fmt.Sprintf("dacut_%d", i), lp.GE, 1, coefs)
+				maxInit--
+			}
+		}
+	}
+	n := spg.G.NumVertices()
+	for v := 0; v < n; v++ {
+		if !spg.G.VertexAlive(v) {
+			continue
+		}
+		inArcs, outArcs := inst.incidentArcs(v)
+		var inCoefs []lp.Nonzero
+		for _, j := range inArcs {
+			inCoefs = append(inCoefs, lp.Nonzero{Col: j, Val: 1})
+		}
+		if v == root {
+			continue
+		}
+		if spg.Terminal[v] {
+			// y(δ−(t)) = 1: every terminal is entered exactly once.
+			prob.AddRow(fmt.Sprintf("indeg_t%d", v), lp.EQ, 1, inCoefs)
+			continue
+		}
+		// y(δ−(v)) ≤ 1.
+		prob.AddRow(fmt.Sprintf("indeg_%d", v), lp.LE, 1, inCoefs)
+		// Flow balance (5): y(δ−(v)) − y(δ+(v)) ≤ 0.
+		coefs := append([]lp.Nonzero(nil), inCoefs...)
+		for _, j := range outArcs {
+			coefs = append(coefs, lp.Nonzero{Col: j, Val: -1})
+		}
+		prob.AddRow(fmt.Sprintf("fb_%d", v), lp.LE, 0, coefs)
+		// (6): y(a) ≤ y(δ−(v)) for each outgoing arc a.
+		for _, j := range outArcs {
+			coefs := []lp.Nonzero{{Col: j, Val: 1}}
+			for _, i := range inArcs {
+				coefs = append(coefs, lp.Nonzero{Col: i, Val: -1})
+			}
+			prob.AddRow(fmt.Sprintf("fb6_%d_%d", v, j), lp.LE, 0, coefs)
+		}
+	}
+	return prob
+}
+
+// incidentArcs returns the variable indices of arcs entering and leaving
+// v in the build-time graph.
+func (in *Instance) incidentArcs(v int) (inVars, outVars []int) {
+	in.SPG.G.Adj(v, func(e, w int) bool {
+		aIn := 2 * e
+		if in.SPG.ArcHead(aIn) != v {
+			aIn = 2*e + 1
+		}
+		aOut := aIn ^ 1
+		if j := in.ArcVar[aIn]; j >= 0 {
+			inVars = append(inVars, j)
+		}
+		if j := in.ArcVar[aOut]; j >= 0 {
+			outVars = append(outVars, j)
+		}
+		return true
+	})
+	return inVars, outVars
+}
+
+// CloneData implements scip.ProblemDef.
+func (d *Def) CloneData(data any) any {
+	switch v := data.(type) {
+	case *Instance:
+		return v.clone()
+	case *SPG:
+		return v.Clone()
+	default:
+		panic(fmt.Sprintf("steiner: CloneData on %T", data))
+	}
+}
+
+// ApplyDecision implements scip.ProblemDef: vertex branching either
+// promotes a vertex to a terminal or deletes it.
+func (d *Def) ApplyDecision(data any, dec scip.Decision) {
+	if dec.Kind != DecisionKind {
+		return
+	}
+	inst := data.(*Instance)
+	if !inst.SPG.G.VertexAlive(dec.V) {
+		return
+	}
+	if dec.Flag {
+		inst.SPG.Terminal[dec.V] = true
+	} else {
+		inst.SPG.G.DeleteVertex(dec.V)
+	}
+}
+
+// integralCosts reports whether all edge costs are integral.
+func integralCosts(s *SPG) bool {
+	for e := 0; e < s.G.NumEdges(); e++ {
+		if !s.G.EdgeAlive(e) {
+			continue
+		}
+		if c := s.G.Cost(e); c != math.Trunc(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// SolutionEdges converts a model solution vector into the chosen edge
+// set of the (presolved) graph.
+func (in *Instance) SolutionEdges(x []float64) []int {
+	chosen := map[int]bool{}
+	for j, a := range in.VarArc {
+		if x[j] > 0.5 {
+			chosen[a/2] = true
+		}
+	}
+	var out []int
+	for e := range chosen {
+		out = append(out, e)
+	}
+	return out
+}
+
+// OrientTree converts an (undirected) tree edge set into an arc solution
+// vector rooted at in.Root: BFS orientation away from the root.
+func (in *Instance) OrientTree(edges []int) []float64 {
+	x := make([]float64, len(in.VarArc))
+	adj := map[int][]int{}
+	for _, e := range edges {
+		ed := in.SPG.G.Edges[e]
+		adj[ed.U] = append(adj[ed.U], e)
+		adj[ed.V] = append(adj[ed.V], e)
+	}
+	visited := map[int]bool{in.Root: true}
+	queue := []int{in.Root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[v] {
+			w := in.SPG.G.Other(e, v)
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			queue = append(queue, w)
+			// Arc v→w.
+			a := 2 * e
+			if in.SPG.ArcTail(a) != v {
+				a = 2*e + 1
+			}
+			if j := in.ArcVar[a]; j >= 0 {
+				x[j] = 1
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,254 @@
+package steiner
+
+import "math"
+
+// Arc indexing: undirected edge e yields arc 2e (U→V) and arc 2e+1
+// (V→U). These indices are shared with the IP model's variables.
+
+// ArcTail returns the tail vertex of arc a in s.
+func (s *SPG) ArcTail(a int) int {
+	e := s.G.Edges[a/2]
+	if a%2 == 0 {
+		return e.U
+	}
+	return e.V
+}
+
+// ArcHead returns the head vertex of arc a in s.
+func (s *SPG) ArcHead(a int) int {
+	e := s.G.Edges[a/2]
+	if a%2 == 0 {
+		return e.V
+	}
+	return e.U
+}
+
+// DualAscentResult carries the output of Wong's dual ascent.
+type DualAscentResult struct {
+	LowerBound float64
+	// Reduced are the residual arc costs (length 2·numEdges).
+	Reduced []float64
+	// Cuts are the raised violated cut sets, each a list of arcs entering
+	// the respective terminal component (rows for the initial LP).
+	Cuts [][]int
+}
+
+// DualAscent runs Wong's dual-ascent algorithm on the Steiner
+// arborescence transformation of s rooted at root. It yields a valid
+// lower bound on the optimal Steiner tree, residual (reduced) arc costs
+// for reduced-cost fixing, and the active cut sets, which SCIP-Jack uses
+// to seed the initial LP.
+func DualAscent(s *SPG, root int) *DualAscentResult {
+	m2 := 2 * s.G.NumEdges()
+	red := make([]float64, m2)
+	for e := 0; e < s.G.NumEdges(); e++ {
+		c := s.G.Cost(e)
+		if !s.G.EdgeAlive(e) {
+			c = math.Inf(1)
+		}
+		red[2*e] = c
+		red[2*e+1] = c
+	}
+	res := &DualAscentResult{Reduced: red}
+	n := s.G.NumVertices()
+
+	// reachSet computes the set of vertices that can reach t using
+	// saturated (zero reduced cost) arcs, i.e. BFS over incoming
+	// saturated arcs — the terminal-side cut component W.
+	reachSet := func(t int) []bool {
+		seen := make([]bool, n)
+		seen[t] = true
+		stack := []int{t}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s.G.Adj(v, func(e, w int) bool {
+				// Arc w→v: its index depends on orientation.
+				a := 2 * e
+				if s.ArcHead(a) != v {
+					a = 2*e + 1
+				}
+				if red[a] <= 1e-12 && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+				return true
+			})
+		}
+		return seen
+	}
+
+	for iter := 0; iter < 4*n+100; iter++ {
+		// Find an unreached terminal: root ∉ reachSet(t).
+		var comp []bool
+		found := -1
+		bestSize := math.MaxInt32
+		for _, t := range s.Terminals() {
+			if t == root {
+				continue
+			}
+			c := reachSet(t)
+			if c[root] {
+				continue
+			}
+			size := 0
+			for _, in := range c {
+				if in {
+					size++
+				}
+			}
+			if size < bestSize {
+				bestSize = size
+				comp = c
+				found = t
+			}
+		}
+		if found < 0 {
+			break // all terminals reachable: dual ascent finished
+		}
+		// Collect arcs entering the component and the minimum residual.
+		var cut []int
+		delta := math.Inf(1)
+		for e := 0; e < s.G.NumEdges(); e++ {
+			if !s.G.EdgeAlive(e) {
+				continue
+			}
+			for o := 0; o < 2; o++ {
+				a := 2*e + o
+				if comp[s.ArcHead(a)] && !comp[s.ArcTail(a)] {
+					cut = append(cut, a)
+					if red[a] < delta {
+						delta = red[a]
+					}
+				}
+			}
+		}
+		if len(cut) == 0 || math.IsInf(delta, 1) {
+			// Terminal unreachable at all: infeasible instance.
+			res.LowerBound = math.Inf(1)
+			return res
+		}
+		res.LowerBound += delta
+		for _, a := range cut {
+			red[a] -= delta
+		}
+		res.Cuts = append(res.Cuts, cut)
+	}
+	return res
+}
+
+// ShortestPathHeuristic builds a Steiner tree by repeatedly connecting
+// the nearest unconnected terminal to the current tree via a shortest
+// path (the classical TM construction SCIP-Jack uses). costs may bias
+// edge weights (nil uses graph costs); the result is pruned so every
+// non-terminal leaf is removed. Returns the edge set and its true cost,
+// or ok=false when some terminal is unreachable.
+func ShortestPathHeuristic(s *SPG, root int, costs []float64) (edges []int, cost float64, ok bool) {
+	terms := s.Terminals()
+	if len(terms) == 0 {
+		return nil, 0, true
+	}
+	inTree := make([]bool, s.G.NumVertices())
+	inTree[root] = true
+	chosen := map[int]bool{}
+	remaining := map[int]bool{}
+	for _, t := range terms {
+		if t != root {
+			remaining[t] = true
+		}
+	}
+	for len(remaining) > 0 {
+		// Multi-source Dijkstra from the tree.
+		var sources []int
+		for v, in := range inTree {
+			if in {
+				sources = append(sources, v)
+			}
+		}
+		dist, pred := s.G.Dijkstra(sources, costs)
+		best := -1
+		for t := range remaining {
+			if best < 0 || dist[t] < dist[best] {
+				best = t
+			}
+		}
+		if best < 0 || math.IsInf(dist[best], 1) {
+			return nil, 0, false
+		}
+		// Walk the path back into the tree.
+		v := best
+		for !inTree[v] {
+			e := pred[v]
+			if e < 0 {
+				break
+			}
+			chosen[e] = true
+			inTree[v] = true
+			v = s.G.Other(e, v)
+		}
+		delete(remaining, best)
+	}
+	// Prune non-terminal leaves.
+	edges = pruneTree(s, chosen)
+	for _, e := range edges {
+		cost += s.G.Cost(e)
+	}
+	return edges, cost, true
+}
+
+// pruneTree removes non-terminal leaves repeatedly from the chosen edge
+// set and returns the remaining edges.
+func pruneTree(s *SPG, chosen map[int]bool) []int {
+	deg := make(map[int]int)
+	for e := range chosen {
+		deg[s.G.Edges[e].U]++
+		deg[s.G.Edges[e].V]++
+	}
+	removed := true
+	for removed {
+		removed = false
+		for e := range chosen {
+			u, v := s.G.Edges[e].U, s.G.Edges[e].V
+			if (deg[u] == 1 && !s.Terminal[u]) || (deg[v] == 1 && !s.Terminal[v]) {
+				delete(chosen, e)
+				deg[u]--
+				deg[v]--
+				removed = true
+			}
+		}
+	}
+	var out []int
+	for e := range chosen {
+		out = append(out, e)
+	}
+	return out
+}
+
+// MSTPruneImprove re-optimizes a tree: build the MST of the subgraph
+// induced by the tree's vertices, then prune non-terminal leaves. Often
+// improves shortest-path-heuristic trees.
+func MSTPruneImprove(s *SPG, edges []int) ([]int, float64) {
+	mask := make([]bool, s.G.NumVertices())
+	for _, e := range edges {
+		mask[s.G.Edges[e].U] = true
+		mask[s.G.Edges[e].V] = true
+	}
+	mstEdges, _, ok := s.G.MSTPrim(mask)
+	if !ok {
+		var c float64
+		for _, e := range edges {
+			c += s.G.Cost(e)
+		}
+		return edges, c
+	}
+	chosen := map[int]bool{}
+	for _, e := range mstEdges {
+		chosen[e] = true
+	}
+	out := pruneTree(s, chosen)
+	var c float64
+	for _, e := range out {
+		c += s.G.Cost(e)
+	}
+	return out, c
+}

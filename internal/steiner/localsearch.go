@@ -1,0 +1,58 @@
+package steiner
+
+// Vertex-insertion local search — one of SCIP-Jack's local primal
+// heuristics: starting from a Steiner tree, repeatedly test whether
+// adding a non-tree vertex (and re-computing the minimum spanning tree
+// of the enlarged induced subgraph, then pruning) yields a cheaper tree.
+// The move set is the classical "Steiner vertex insertion" neighborhood.
+
+// VertexInsertionImprove improves a tree by Steiner-vertex insertion
+// until no single insertion helps or maxRounds passes complete. Returns
+// the improved edge set and its cost.
+func VertexInsertionImprove(s *SPG, edges []int, maxRounds int) ([]int, float64) {
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+	best := append([]int(nil), edges...)
+	bestCost := s.TreeCost(best)
+	n := s.G.NumVertices()
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		inTree := make([]bool, n)
+		for _, e := range best {
+			inTree[s.G.Edges[e].U] = true
+			inTree[s.G.Edges[e].V] = true
+		}
+		for v := 0; v < n; v++ {
+			if inTree[v] || !s.G.VertexAlive(v) || s.Terminal[v] {
+				continue
+			}
+			// Candidate: tree vertices plus v; MST + prune.
+			mask := append([]bool(nil), inTree...)
+			mask[v] = true
+			mstEdges, _, ok := s.G.MSTPrim(mask)
+			if !ok {
+				continue
+			}
+			chosen := map[int]bool{}
+			for _, e := range mstEdges {
+				chosen[e] = true
+			}
+			cand := pruneTree(s, chosen)
+			if c := s.TreeCost(cand); c < bestCost-1e-9 {
+				best = cand
+				bestCost = c
+				improved = true
+				inTree = make([]bool, n)
+				for _, e := range best {
+					inTree[s.G.Edges[e].U] = true
+					inTree[s.G.Edges[e].V] = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestCost
+}

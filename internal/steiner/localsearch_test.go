@@ -1,0 +1,50 @@
+package steiner
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVertexInsertionImprovesStar(t *testing.T) {
+	// Terminals pairwise connected at cost 4; a Steiner point reaches each
+	// for 1.5. The direct tree costs 8, insertion finds 4.5.
+	s := NewSPG(4)
+	e01 := s.G.AddEdge(0, 1, 4)
+	e12 := s.G.AddEdge(1, 2, 4)
+	s.G.AddEdge(0, 2, 4)
+	s.G.AddEdge(0, 3, 1.5)
+	s.G.AddEdge(1, 3, 1.5)
+	s.G.AddEdge(2, 3, 1.5)
+	s.Terminal[0], s.Terminal[1], s.Terminal[2] = true, true, true
+	start := []int{e01, e12} // cost 8
+	improved, cost := VertexInsertionImprove(s, start, 0)
+	if math.Abs(cost-4.5) > 1e-9 {
+		t.Fatalf("cost = %v, want 4.5", cost)
+	}
+	if err := s.ValidTree(improved); err != nil {
+		t.Fatalf("improved tree invalid: %v", err)
+	}
+}
+
+// Property: on random instances the local search never worsens the tree,
+// always returns a valid tree, and never beats the exact optimum.
+func TestVertexInsertionSoundness(t *testing.T) {
+	for seed := int64(1200); seed < 1240; seed++ {
+		s := randomSPG(seed, 12, 14, 4)
+		opt := s.SolveDW()
+		edges, cost, ok := ShortestPathHeuristic(s, s.Root(), nil)
+		if !ok {
+			continue
+		}
+		improved, c2 := VertexInsertionImprove(s, edges, 0)
+		if c2 > cost+1e-9 {
+			t.Fatalf("seed %d: local search worsened %v → %v", seed, cost, c2)
+		}
+		if c2 < opt-1e-9 {
+			t.Fatalf("seed %d: cost %v below optimum %v", seed, c2, opt)
+		}
+		if err := s.ValidTree(improved); err != nil {
+			t.Fatalf("seed %d: invalid tree: %v", seed, err)
+		}
+	}
+}

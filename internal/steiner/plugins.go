@@ -1,0 +1,412 @@
+package steiner
+
+import (
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/maxflow"
+	"repro/internal/scip"
+)
+
+// This file contains the SCIP-Jack plugins: the Steiner-cut constraint
+// handler and separator, the reduced-cost/reduction propagator, the
+// shortest-path primal heuristic and the vertex brancher.
+
+// supportReach returns the vertices reachable from root using arcs with
+// x > 0.5 in the build-time graph, restricted to vertices alive in the
+// local graph.
+func supportReach(in *Instance, local *SPG, x []float64) []bool {
+	n := local.G.NumVertices()
+	seen := make([]bool, n)
+	if in.Root < 0 || !local.G.VertexAlive(in.Root) {
+		return seen
+	}
+	seen[in.Root] = true
+	stack := []int{in.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		local.G.Adj(v, func(e, w int) bool {
+			a := 2 * e
+			if local.ArcTail(a) != v {
+				a = 2*e + 1
+			}
+			j := in.ArcVar[a]
+			if j >= 0 && x[j] > 0.5 && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+			return true
+		})
+	}
+	return seen
+}
+
+// cutRow builds the Steiner-cut row y(δ−(W)) ≥ 1 for the component mask
+// W (true = inside W) over the build-time arcs, so the row is valid
+// independent of local deletions.
+func cutRow(in *Instance, inW []bool) []lp.Nonzero {
+	var coefs []lp.Nonzero
+	for j, a := range in.VarArc {
+		if inW[in.SPG.ArcHead(a)] && !inW[in.SPG.ArcTail(a)] {
+			coefs = append(coefs, lp.Nonzero{Col: j, Val: 1})
+		}
+	}
+	return coefs
+}
+
+// Conshdlr enforces Steiner connectivity on integral candidates.
+type Conshdlr struct{}
+
+// Name implements scip.Conshdlr.
+func (*Conshdlr) Name() string { return "stp" }
+
+// Check implements scip.Conshdlr: the support of x must connect the root
+// to every (node-local) terminal.
+func (*Conshdlr) Check(ctx *scip.Ctx, x []float64) bool {
+	inst := ctx.Data.(*Instance)
+	reach := supportReach(inst, inst.SPG, x)
+	for _, t := range inst.SPG.Terminals() {
+		if !reach[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enforce implements scip.Conshdlr: add a violated Steiner cut for an
+// unreached terminal. Cuts for original terminals are globally valid;
+// cuts for branching-added terminals are local to the subtree.
+func (*Conshdlr) Enforce(ctx *scip.Ctx, x []float64) scip.Result {
+	inst := ctx.Data.(*Instance)
+	local := inst.SPG
+	reach := supportReach(inst, local, x)
+	for _, t := range local.Terminals() {
+		if reach[t] {
+			continue
+		}
+		// W = everything not reachable from the root in the support.
+		inW := make([]bool, len(reach))
+		for v := range reach {
+			inW[v] = !reach[v]
+		}
+		coefs := cutRow(inst, inW)
+		if len(coefs) == 0 {
+			ctx.MarkInfeasible()
+			return scip.Cutoff
+		}
+		var added bool
+		if inst.OrigTerminal[t] {
+			added = ctx.AddCut(lp.GE, 1, coefs)
+		} else {
+			added = ctx.AddLocalCut(lp.GE, 1, coefs)
+		}
+		if added {
+			return scip.Separated
+		}
+	}
+	return scip.DidNothing
+}
+
+// Separator finds violated directed Steiner cuts on fractional LP
+// solutions via max-flow (the branch-and-cut engine of SCIP-Jack) and
+// performs LP reduced-cost fixing as a side effect.
+type Separator struct {
+	MaxCutsPerRound int
+}
+
+// Name implements scip.Separator.
+func (*Separator) Name() string { return "stpcuts" }
+
+// Separate implements scip.Separator.
+func (sep *Separator) Separate(ctx *scip.Ctx) scip.Result {
+	if ctx.LPSol == nil {
+		return scip.DidNotRun
+	}
+	inst := ctx.Data.(*Instance)
+	local := inst.SPG
+	x := ctx.LPSol.X
+	sep.redCostFixing(ctx, inst)
+	maxCuts := sep.MaxCutsPerRound
+	if maxCuts <= 0 {
+		maxCuts = 6
+	}
+	if left := ctx.CutBudgetLeft(); left < maxCuts {
+		maxCuts = left
+	}
+	added := 0
+	root := inst.Root
+	if root < 0 || !local.G.VertexAlive(root) {
+		return scip.DidNotRun
+	}
+	n := local.G.NumVertices()
+	for _, t := range local.Terminals() {
+		if t == root || added >= maxCuts {
+			continue
+		}
+		// Max-flow from root to t with capacities x on local alive arcs.
+		nw := maxflow.New(n)
+		for e := 0; e < local.G.NumEdges(); e++ {
+			if !local.G.EdgeAlive(e) {
+				continue
+			}
+			for o := 0; o < 2; o++ {
+				a := 2*e + o
+				j := inst.ArcVar[a]
+				if j < 0 {
+					continue
+				}
+				if x[j] > 1e-9 {
+					nw.AddArc(local.ArcTail(a), local.ArcHead(a), x[j])
+				}
+			}
+		}
+		flow := nw.MaxFlow(root, t)
+		if flow >= 1-1e-6 {
+			continue
+		}
+		src := nw.MinCutSource(root)
+		inW := make([]bool, n)
+		for v := 0; v < n; v++ {
+			inW[v] = !src[v]
+		}
+		coefs := cutRow(inst, inW)
+		if len(coefs) == 0 {
+			continue
+		}
+		// Skip if not actually violated (numerical safety).
+		var lhs float64
+		for _, nz := range coefs {
+			lhs += x[nz.Col]
+		}
+		if lhs >= 1-1e-6 {
+			continue
+		}
+		wasAdded := false
+		if inst.OrigTerminal[t] {
+			wasAdded = ctx.AddCut(lp.GE, 1, coefs)
+		} else {
+			wasAdded = ctx.AddLocalCut(lp.GE, 1, coefs)
+		}
+		if wasAdded {
+			added++
+		}
+	}
+	if added > 0 {
+		return scip.Separated
+	}
+	return scip.DidNothing
+}
+
+// redCostFixing fixes arc variables using LP reduced costs against the
+// incumbent (SCIP-Jack's reduced-cost domain propagation).
+func (sep *Separator) redCostFixing(ctx *scip.Ctx, inst *Instance) {
+	ub := ctx.UpperBound()
+	if math.IsInf(ub, 1) || ctx.LPSol == nil {
+		return
+	}
+	lpObj := ctx.LPSol.Obj
+	slack := ub - lpObj
+	if ctx.S.Prob.IntegralObj {
+		slack = ub - 1 + 1e-6 - lpObj
+	}
+	for j := range inst.VarArc {
+		d := ctx.LPSol.RedCosts[j]
+		xj := ctx.LPSol.X[j]
+		if xj < 1e-9 && d > slack+1e-9 {
+			ctx.TightenUp(j, 0)
+		} else if xj > 1-1e-9 && -d > slack+1e-9 {
+			ctx.TightenLo(j, 1)
+		}
+	}
+}
+
+// Propagator syncs branching decisions and local reductions into
+// variable bounds: arcs of deleted edges are fixed to zero, and the
+// deletion-only reduction layer (including the restricted extended
+// reductions) runs on the node-local graph — the in-tree effect the
+// paper credits for solving bip52u.
+type Propagator struct {
+	ReductionBudget int // max edges/vertices examined per node (0 = all)
+	MinDepth        int // only run full reductions at depth ≥ MinDepth
+}
+
+// Name implements scip.Propagator.
+func (*Propagator) Name() string { return "stpprop" }
+
+// Propagate implements scip.Propagator.
+func (p *Propagator) Propagate(ctx *scip.Ctx) scip.Result {
+	inst := ctx.Data.(*Instance)
+	local := inst.SPG
+	changed := false
+	// Remove edges whose two arcs are both fixed to zero, making the
+	// local graph consistent with the bound state.
+	for e := 0; e < local.G.NumEdges(); e++ {
+		if !local.G.EdgeAlive(e) {
+			continue
+		}
+		j1, j2 := inst.ArcVar[2*e], inst.ArcVar[2*e+1]
+		fixed0 := func(j int) bool { return j >= 0 && ctx.LocalUp(j) < 0.5 }
+		if (j1 < 0 || fixed0(j1)) && (j2 < 0 || fixed0(j2)) {
+			local.G.DeleteEdge(e)
+		}
+	}
+	// Run the deletion-only reduction layer.
+	if ctx.Node.Depth >= p.MinDepth {
+		deleted := ReduceLocal(local, p.ReductionBudget)
+		if len(deleted) > 0 {
+			changed = true
+		}
+	}
+	// Sync graph state back into bounds: dead edges and dead vertices fix
+	// their arcs to zero.
+	for e := 0; e < local.G.NumEdges(); e++ {
+		alive := local.G.EdgeAlive(e)
+		if alive {
+			continue
+		}
+		for o := 0; o < 2; o++ {
+			if j := inst.ArcVar[2*e+o]; j >= 0 && ctx.LocalUp(j) > 0.5 {
+				ctx.TightenUp(j, 0)
+				changed = true
+			}
+		}
+	}
+	// Infeasibility: some local terminal disconnected from the root.
+	if root := inst.Root; root >= 0 {
+		if !local.G.VertexAlive(root) {
+			ctx.MarkInfeasible()
+			return scip.Cutoff
+		}
+		comp := local.G.ConnectedComponent(root)
+		for _, t := range local.Terminals() {
+			if !comp[t] {
+				ctx.MarkInfeasible()
+				return scip.Cutoff
+			}
+		}
+	}
+	if changed {
+		return scip.Reduced
+	}
+	return scip.DidNothing
+}
+
+// Heuristic is the shortest-path (TM) construction with LP bias and
+// MST-prune improvement.
+type Heuristic struct{}
+
+// Name implements scip.Heuristic.
+func (*Heuristic) Name() string { return "stpheur" }
+
+// Search implements scip.Heuristic.
+func (h *Heuristic) Search(ctx *scip.Ctx) scip.Result {
+	inst := ctx.Data.(*Instance)
+	local := inst.SPG
+	root := inst.Root
+	if root < 0 || !local.G.VertexAlive(root) {
+		return scip.DidNotRun
+	}
+	// LP-biased costs: edges carrying LP flow become cheaper.
+	var costs []float64
+	if ctx.LPSol != nil {
+		costs = make([]float64, local.G.NumEdges())
+		for e := range costs {
+			costs[e] = local.G.Cost(e)
+			var y float64
+			for o := 0; o < 2; o++ {
+				if j := inst.ArcVar[2*e+o]; j >= 0 {
+					y += ctx.LPSol.X[j]
+				}
+			}
+			if y > 1 {
+				y = 1
+			}
+			costs[e] *= 1 - 0.75*y
+		}
+	}
+	edges, _, ok := ShortestPathHeuristic(local, root, costs)
+	if !ok {
+		return scip.DidNothing
+	}
+	edges, _ = MSTPruneImprove(local, edges)
+	edges, _ = VertexInsertionImprove(local, edges, 2)
+	x := inst.OrientTree(edges)
+	if ctx.SubmitSol(x) {
+		return scip.FoundSol
+	}
+	return scip.DidNothing
+}
+
+// Brancher implements SCIP-Jack's vertex branching: the chosen
+// non-terminal either becomes a terminal (must be spanned) or is deleted.
+// Both children are described by solver-independent Decisions, which is
+// what lets UG transfer them between ParaSolvers.
+type Brancher struct{}
+
+// Name implements scip.Brancher.
+func (*Brancher) Name() string { return "stpvertex" }
+
+// Branch implements scip.Brancher.
+func (b *Brancher) Branch(ctx *scip.Ctx) ([]scip.Child, scip.Result) {
+	if ctx.LPSol == nil {
+		return nil, scip.DidNotRun
+	}
+	inst := ctx.Data.(*Instance)
+	local := inst.SPG
+	x := ctx.LPSol.X
+	best, bestScore := -1, 1e-5
+	for v := 0; v < local.G.NumVertices(); v++ {
+		if !local.G.VertexAlive(v) || local.Terminal[v] {
+			continue
+		}
+		var inflow float64
+		local.G.Adj(v, func(e, w int) bool {
+			a := 2 * e
+			if local.ArcHead(a) != v {
+				a = 2*e + 1
+			}
+			if j := inst.ArcVar[a]; j >= 0 {
+				inflow += x[j]
+			}
+			return true
+		})
+		score := math.Min(inflow, 1-inflow)
+		if score > bestScore {
+			bestScore = score
+			best = v
+		}
+	}
+	if best < 0 {
+		return nil, scip.DidNotRun // fall back to arc-variable branching
+	}
+	// Child A: vertex becomes a terminal. Child B: vertex deleted, all
+	// its arc variables fixed to zero (explicit bounds so the fixings
+	// travel with the UG subproblem encoding).
+	var zeroBounds []scip.BoundChg
+	local.G.Adj(best, func(e, w int) bool {
+		for o := 0; o < 2; o++ {
+			if j := inst.ArcVar[2*e+o]; j >= 0 {
+				zeroBounds = append(zeroBounds, scip.BoundChg{Var: j, Lo: 0, Up: 0})
+			}
+		}
+		return true
+	})
+	children := []scip.Child{
+		{Decisions: []scip.Decision{{Kind: DecisionKind, V: best, Flag: true}}},
+		{Decisions: []scip.Decision{{Kind: DecisionKind, V: best, Flag: false}}, Bounds: zeroBounds},
+	}
+	return children, scip.Branched
+}
+
+// NewPlugins assembles the full SCIP-Jack plugin set.
+func NewPlugins() *scip.Plugins {
+	return &scip.Plugins{
+		Def:         &Def{},
+		Propagators: []scip.Propagator{&Propagator{ReductionBudget: 400, MinDepth: 1}},
+		Separators:  []scip.Separator{&Separator{}},
+		Heuristics:  []scip.Heuristic{&Heuristic{}},
+		Conshdlrs:   []scip.Conshdlr{&Conshdlr{}},
+		Branchers:   []scip.Brancher{&Brancher{}},
+	}
+}

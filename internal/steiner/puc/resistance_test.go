@@ -1,0 +1,57 @@
+package puc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/steiner"
+)
+
+// The paper: "for the PUC instances the effect of presolving is usually
+// very limited" — the families were constructed to defy reduction
+// techniques. This test asserts the property holds for the generated
+// analogues: presolving removes only a small fraction of a hypercube
+// instance's edges, while a random sparse instance collapses.
+func TestPUCFamiliesResistReductions(t *testing.T) {
+	hc := Hypercube(6, false, 1)
+	before := hc.G.AliveEdges()
+	steiner.Reduce(hc, 0)
+	after := hc.G.AliveEdges()
+	if frac := float64(before-after) / float64(before); frac > 0.25 {
+		t.Fatalf("hc6u lost %.0f%% of its edges to presolving; PUC-family analogues must resist", 100*frac)
+	}
+
+	// Contrast: a random sparse graph with few terminals reduces heavily.
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	sp := steiner.NewSPG(n)
+	for v := 1; v < n; v++ {
+		sp.G.AddEdge(rng.Intn(v), v, float64(1+rng.Intn(9)))
+	}
+	for k := 0; k < 40; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			sp.G.AddEdge(u, v, float64(1+rng.Intn(9)))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		sp.Terminal[rng.Intn(n)] = true
+	}
+	beforeR := sp.G.AliveEdges()
+	steiner.Reduce(sp, 0)
+	afterR := sp.G.AliveEdges()
+	if frac := float64(beforeR-afterR) / float64(beforeR); frac < 0.3 {
+		t.Fatalf("random instance only lost %.0f%%; reductions seem ineffective", 100*frac)
+	}
+}
+
+// Hamming (cc) analogues must also resist.
+func TestCodeCoverResistsReductions(t *testing.T) {
+	cc := CodeCover(3, 4, 16, false, 3)
+	before := cc.G.AliveEdges()
+	steiner.Reduce(cc, 0)
+	after := cc.G.AliveEdges()
+	if frac := float64(before-after) / float64(before); frac > 0.35 {
+		t.Fatalf("cc3-4 lost %.0f%% of its edges to presolving", 100*frac)
+	}
+}

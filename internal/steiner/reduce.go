@@ -1,0 +1,457 @@
+package steiner
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Trace records presolve operations so that a solution of the reduced
+// instance can be mapped back to the original graph (SCIP-Jack's
+// retransformation step).
+type Trace struct {
+	// Fixed are original-graph edges forced into every optimal solution
+	// (degree-1 terminal contractions); their cost is in Offset.
+	Fixed []int
+	// Parent maps an edge created during reduction to the one or two
+	// edges it replaces ([e, -1] for a moved edge, [e1, e2] for a path
+	// contraction through a degree-2 vertex).
+	Parent map[int][2]int
+	// Offset is the total cost moved into fixed edges.
+	Offset float64
+}
+
+// Expand maps edge indices of the reduced graph back to original edge
+// indices, recursively unfolding reduction-created edges and appending
+// the fixed edges.
+func (t *Trace) Expand(edges []int) []int {
+	var out []int
+	seen := map[int]bool{}
+	var rec func(e int)
+	rec = func(e int) {
+		if p, ok := t.Parent[e]; ok {
+			rec(p[0])
+			if p[1] >= 0 {
+				rec(p[1])
+			}
+			return
+		}
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	for _, e := range edges {
+		rec(e)
+	}
+	for _, e := range t.Fixed {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ReduceStats reports what a reduction pass achieved.
+type ReduceStats struct {
+	EdgesDeleted    int
+	VerticesDeleted int
+	Contractions    int
+	Rounds          int
+}
+
+// Reduce runs the presolve reduction loop on s in place: degree tests
+// (with contractions), the long-edge/alternative-path test, and the
+// restricted extended-reduction vertex test. Returns the trace needed to
+// reconstruct original solutions plus statistics.
+func Reduce(s *SPG, maxRounds int) (*Trace, *ReduceStats) {
+	tr := &Trace{Parent: map[int][2]int{}}
+	st := &ReduceStats{}
+	if maxRounds <= 0 {
+		maxRounds = 16
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		if degreeTests(s, tr, st) {
+			changed = true
+		}
+		if longEdgeTest(s, st, 0) {
+			changed = true
+		}
+		if extendedVertexTest(s, st, 0) {
+			changed = true
+		}
+		st.Rounds = round + 1
+		if !changed {
+			break
+		}
+	}
+	return tr, st
+}
+
+// ReduceLocal runs the deletion-only reduction tests used deep inside the
+// branch-and-bound tree (the in-tree layer of the paper's extended
+// reductions): no contractions, no new edges, so variable indices stay
+// stable. Returns the indices of deleted edges.
+func ReduceLocal(s *SPG, budget int) []int {
+	before := aliveEdgeSet(s)
+	for round := 0; round < 4; round++ {
+		changed := false
+		if deleteOnlyDegreeTests(s) {
+			changed = true
+		}
+		if longEdgeTest(s, &ReduceStats{}, budget) {
+			changed = true
+		}
+		if extendedVertexTest(s, &ReduceStats{}, budget) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	var deleted []int
+	for e := range before {
+		if !s.G.EdgeAlive(e) {
+			deleted = append(deleted, e)
+		}
+	}
+	return deleted
+}
+
+func aliveEdgeSet(s *SPG) map[int]bool {
+	m := map[int]bool{}
+	for e := range s.G.Edges {
+		if s.G.EdgeAlive(e) {
+			m[e] = true
+		}
+	}
+	return m
+}
+
+// deleteOnlyDegreeTests removes isolated and degree-1 non-terminals.
+func deleteOnlyDegreeTests(s *SPG) bool {
+	changed := false
+	again := true
+	for again {
+		again = false
+		for v := 0; v < s.G.NumVertices(); v++ {
+			if !s.G.VertexAlive(v) || s.Terminal[v] {
+				continue
+			}
+			if s.G.Degree(v) <= 1 {
+				s.G.DeleteVertex(v)
+				changed = true
+				again = true
+			}
+		}
+	}
+	return changed
+}
+
+// degreeTests runs the contraction-based degree tests (presolve only).
+func degreeTests(s *SPG, tr *Trace, st *ReduceStats) bool {
+	changed := false
+	again := true
+	for again {
+		again = false
+		for v := 0; v < s.G.NumVertices(); v++ {
+			if !s.G.VertexAlive(v) {
+				continue
+			}
+			deg := s.G.Degree(v)
+			switch {
+			case !s.Terminal[v] && deg == 0:
+				s.G.DeleteVertex(v)
+				st.VerticesDeleted++
+				changed, again = true, true
+			case !s.Terminal[v] && deg == 1:
+				s.G.DeleteVertex(v)
+				st.VerticesDeleted++
+				changed, again = true, true
+			case !s.Terminal[v] && deg == 2:
+				// Path contraction a–v–b → edge (a,b).
+				var es [2]int
+				var ws [2]int
+				i := 0
+				s.G.Adj(v, func(e, w int) bool {
+					es[i], ws[i] = e, w
+					i++
+					return true
+				})
+				a, b := ws[0], ws[1]
+				s.G.DeleteVertex(v)
+				st.VerticesDeleted++
+				if a != b {
+					ne := s.G.AddEdge(a, b, origCost(s, es[0])+origCost(s, es[1]))
+					tr.Parent[ne] = [2]int{es[0], es[1]}
+				}
+				changed, again = true, true
+			case s.Terminal[v] && deg == 1 && s.NumTerminals() > 1:
+				// Mandatory edge: contract the terminal into its neighbor.
+				var fe, w int
+				s.G.Adj(v, func(e, x int) bool { fe, w = e, x; return false })
+				tr.Offset += origCost(s, fe)
+				tr.Fixed = append(tr.Fixed, originalOf(tr, fe)...)
+				s.G.DeleteVertex(v)
+				s.Terminal[w] = true
+				st.Contractions++
+				changed, again = true, true
+			}
+		}
+	}
+	return changed
+}
+
+// origCost returns the cost of edge e (helper for readability).
+func origCost(s *SPG, e int) float64 { return s.G.Cost(e) }
+
+// originalOf expands one (possibly reduction-created) edge into the
+// original edges it represents.
+func originalOf(tr *Trace, e int) []int {
+	if p, ok := tr.Parent[e]; ok {
+		out := originalOf(tr, p[0])
+		if p[1] >= 0 {
+			out = append(out, originalOf(tr, p[1])...)
+		}
+		return out
+	}
+	return []int{e}
+}
+
+// longEdgeTest deletes edge (u,v) when an alternative u–v path of length
+// ≤ c(u,v) exists (a restricted special-distance test). budget > 0 caps
+// the number of edges examined (for the in-tree layer).
+func longEdgeTest(s *SPG, st *ReduceStats, budget int) bool {
+	changed := false
+	examined := 0
+	for e := 0; e < s.G.NumEdges(); e++ {
+		if !s.G.EdgeAlive(e) {
+			continue
+		}
+		if budget > 0 && examined >= budget {
+			break
+		}
+		examined++
+		ed := s.G.Edges[e]
+		if altDistAtMost(s, ed.U, ed.V, e, ed.Cost) {
+			s.G.DeleteEdge(e)
+			st.EdgesDeleted++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// altDistAtMost runs a cost-bounded Dijkstra from u avoiding edge skip
+// and reports whether v is reachable within limit.
+func altDistAtMost(s *SPG, u, v, skip int, limit float64) bool {
+	dist := make(map[int]float64, 16)
+	pq := &bndHeap{}
+	heap.Push(pq, bndItem{u, 0})
+	dist[u] = 0
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(bndItem)
+		if it.d > dist[it.v]+1e-15 {
+			continue
+		}
+		if it.v == v {
+			return true
+		}
+		s.G.Adj(it.v, func(e, w int) bool {
+			if e == skip {
+				return true
+			}
+			nd := it.d + s.G.Cost(e)
+			if nd > limit+1e-12 {
+				return true
+			}
+			if old, ok := dist[w]; !ok || nd < old-1e-15 {
+				dist[w] = nd
+				heap.Push(pq, bndItem{w, nd})
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// bndItem is a priority-queue entry for the bounded Dijkstra searches.
+type bndItem struct {
+	v int
+	d float64
+}
+
+type bndHeap []bndItem
+
+func (h bndHeap) Len() int            { return len(h) }
+func (h bndHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h bndHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bndHeap) Push(x interface{}) { *h = append(*h, x.(bndItem)) }
+func (h *bndHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// extendedVertexTest is the restricted extended-reduction technique: a
+// non-terminal v can be deleted when every tree that could pass through v
+// has a cheaper replacement avoiding v. This is proven by enumerating the
+// neighbor subsets S (the ways a tree can touch v) and checking that the
+// minimum spanning tree over the v-free shortest-path distances of S
+// never exceeds the star through v — examining a sufficient set of
+// supergraphs of v exactly as the paper describes, albeit for small
+// degrees only (≤ 5).
+func extendedVertexTest(s *SPG, st *ReduceStats, budget int) bool {
+	changed := false
+	examined := 0
+	for v := 0; v < s.G.NumVertices(); v++ {
+		if !s.G.VertexAlive(v) || s.Terminal[v] {
+			continue
+		}
+		deg := s.G.Degree(v)
+		if deg < 2 || deg > 5 {
+			continue
+		}
+		if budget > 0 && examined >= budget {
+			break
+		}
+		examined++
+		var nbr []int
+		var starCost []float64
+		dup := false
+		s.G.Adj(v, func(e, w int) bool {
+			for _, x := range nbr {
+				if x == w {
+					dup = true
+				}
+			}
+			nbr = append(nbr, w)
+			starCost = append(starCost, s.G.Cost(e))
+			return true
+		})
+		if dup {
+			continue // parallel edges: leave to the long-edge test
+		}
+		// Shortest-path distances between neighbors avoiding v.
+		d := neighborDistancesAvoiding(s, v, nbr)
+		if d == nil {
+			continue
+		}
+		ok := true
+		k := len(nbr)
+		for mask := 3; mask < 1<<k && ok; mask++ {
+			if popcount(mask) < 2 {
+				continue
+			}
+			var star float64
+			var sel []int
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					star += starCost[i]
+					sel = append(sel, i)
+				}
+			}
+			if mstOver(d, sel) > star+1e-12 {
+				ok = false
+			}
+		}
+		if ok {
+			s.G.DeleteVertex(v)
+			st.VerticesDeleted++
+			changed = true
+		}
+	}
+	return changed
+}
+
+func popcount(x int) int {
+	c := 0
+	for x > 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+// neighborDistancesAvoiding returns the pairwise shortest-path distances
+// among nbr in G∖{v}; nil when some pair is disconnected (deletion then
+// cannot be proven).
+func neighborDistancesAvoiding(s *SPG, v int, nbr []int) [][]float64 {
+	// Temporarily hide v by skipping its edges during Dijkstra: emulate by
+	// cost override is not enough, so run Dijkstra on a clone-free walk.
+	k := len(nbr)
+	d := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		di := dijkstraAvoiding(s, nbr[i], v)
+		d[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			d[i][j] = di[nbr[j]]
+			if math.IsInf(d[i][j], 1) {
+				return nil
+			}
+		}
+	}
+	return d
+}
+
+// dijkstraAvoiding computes single-source distances skipping vertex av.
+func dijkstraAvoiding(s *SPG, src, av int) []float64 {
+	n := s.G.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &bndHeap{}
+	heap.Push(pq, bndItem{src, 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(bndItem)
+		if it.d > dist[it.v]+1e-15 {
+			continue
+		}
+		s.G.Adj(it.v, func(e, w int) bool {
+			if w == av || !s.G.VertexAlive(w) {
+				return true
+			}
+			if nd := it.d + s.G.Cost(e); nd < dist[w]-1e-15 {
+				dist[w] = nd
+				heap.Push(pq, bndItem{w, nd})
+			}
+			return true
+		})
+	}
+	return dist
+}
+
+// mstOver computes the MST value of the complete graph on sel under d.
+func mstOver(d [][]float64, sel []int) float64 {
+	k := len(sel)
+	in := make([]bool, k)
+	best := make([]float64, k)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	best[0] = 0
+	var total float64
+	for cnt := 0; cnt < k; cnt++ {
+		pick := -1
+		for i := 0; i < k; i++ {
+			if !in[i] && (pick < 0 || best[i] < best[pick]) {
+				pick = i
+			}
+		}
+		in[pick] = true
+		total += best[pick]
+		for i := 0; i < k; i++ {
+			if !in[i] {
+				if c := d[sel[pick]][sel[i]]; c < best[i] {
+					best[i] = c
+				}
+			}
+		}
+	}
+	return total
+}

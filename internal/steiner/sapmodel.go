@@ -1,0 +1,383 @@
+package steiner
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/maxflow"
+	"repro/internal/scip"
+)
+
+// SAPInstance is the model-level data for a SAP (the variant pipeline):
+// the instance is immutable during the search — variants branch on arc
+// variables, not on graph structure — so node clones share the pointer.
+type SAPInstance struct {
+	S *SAP
+	// inArcs/outArcs index arcs (== variables) per vertex.
+	inArcs, outArcs [][]int
+}
+
+func newSAPInstance(s *SAP) *SAPInstance {
+	in := &SAPInstance{S: s, inArcs: make([][]int, s.N), outArcs: make([][]int, s.N)}
+	for a, arc := range s.Arcs {
+		in.inArcs[arc.Head] = append(in.inArcs[arc.Head], a)
+		in.outArcs[arc.Tail] = append(in.outArcs[arc.Tail], a)
+	}
+	return in
+}
+
+// SAPDef implements scip.ProblemDef for Steiner arborescence variants.
+type SAPDef struct{}
+
+// Presolve implements scip.ProblemDef (variants skip graph reductions —
+// those are SPG-specific in this reproduction).
+func (d *SAPDef) Presolve(data any, _ float64) (any, float64) { return data, 0 }
+
+// BuildModel implements scip.ProblemDef: one binary variable per arc,
+// the flow-balance/in-degree strengthening rows of Formulation 1, and
+// the root-degree side constraint of the unrooted transformations.
+func (d *SAPDef) BuildModel(data any) *scip.Prob {
+	s := data.(*SAP)
+	if err := s.validate(); err != nil {
+		panic(err)
+	}
+	inst := newSAPInstance(s)
+	integral := true
+	for _, a := range s.Arcs {
+		if a.Cost != math.Trunc(a.Cost) {
+			integral = false
+		}
+	}
+	prob := &scip.Prob{Name: "sap:" + s.Name, Data: inst, IntegralObj: integral}
+	for a, arc := range s.Arcs {
+		up := 1.0
+		if arc.Head == s.Root {
+			up = 0
+		}
+		prob.AddVar(fmt.Sprintf("a_%d", a), 0, up, arc.Cost, scip.Binary)
+	}
+	for v := 0; v < s.N; v++ {
+		if v == s.Root {
+			continue
+		}
+		var inCoefs []lp.Nonzero
+		for _, a := range inst.inArcs[v] {
+			inCoefs = append(inCoefs, lp.Nonzero{Col: a, Val: 1})
+		}
+		if len(inCoefs) == 0 {
+			continue
+		}
+		if s.Terminal[v] {
+			prob.AddRow(fmt.Sprintf("indeg_t%d", v), lp.EQ, 1, inCoefs)
+			continue
+		}
+		prob.AddRow(fmt.Sprintf("indeg_%d", v), lp.LE, 1, inCoefs)
+		// Flow balance (5): y(δ−(v)) ≤ y(δ+(v)) for non-terminals.
+		coefs := append([]lp.Nonzero(nil), inCoefs...)
+		for _, a := range inst.outArcs[v] {
+			coefs = append(coefs, lp.Nonzero{Col: a, Val: -1})
+		}
+		prob.AddRow(fmt.Sprintf("fb_%d", v), lp.LE, 0, coefs)
+		// (6): each outgoing arc needs inflow.
+		for _, a := range inst.outArcs[v] {
+			c6 := []lp.Nonzero{{Col: a, Val: 1}}
+			for _, ia := range inst.inArcs[v] {
+				c6 = append(c6, lp.Nonzero{Col: ia, Val: -1})
+			}
+			prob.AddRow(fmt.Sprintf("fb6_%d_%d", v, a), lp.LE, 0, c6)
+		}
+	}
+	if s.RootDegreeOne {
+		var coefs []lp.Nonzero
+		for a, arc := range s.Arcs {
+			if arc.Anchor {
+				coefs = append(coefs, lp.Nonzero{Col: a, Val: 1})
+			}
+		}
+		prob.AddRow("rootdeg", lp.EQ, 1, coefs)
+	}
+	return prob
+}
+
+// CloneData implements scip.ProblemDef; SAP data is immutable.
+func (d *SAPDef) CloneData(data any) any { return data }
+
+// ApplyDecision implements scip.ProblemDef; variants branch on
+// variables only.
+func (d *SAPDef) ApplyDecision(any, scip.Decision) {}
+
+// sapReach computes vertices reachable from the root via arcs with
+// x > 0.5.
+func (in *SAPInstance) sapReach(x []float64) []bool {
+	seen := make([]bool, in.S.N)
+	seen[in.S.Root] = true
+	stack := []int{in.S.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range in.outArcs[v] {
+			if x[a] > 0.5 && !seen[in.S.Arcs[a].Head] {
+				seen[in.S.Arcs[a].Head] = true
+				stack = append(stack, in.S.Arcs[a].Head)
+			}
+		}
+	}
+	return seen
+}
+
+// SAPConshdlr enforces arborescence connectivity.
+type SAPConshdlr struct{}
+
+// Name implements scip.Conshdlr.
+func (*SAPConshdlr) Name() string { return "sap" }
+
+// Check implements scip.Conshdlr.
+func (*SAPConshdlr) Check(ctx *scip.Ctx, x []float64) bool {
+	inst := ctx.Data.(*SAPInstance)
+	reach := inst.sapReach(x)
+	for _, t := range inst.S.Terminals() {
+		if !reach[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enforce implements scip.Conshdlr: add the cut of an unreached
+// terminal's component (all SAP cuts are globally valid — variants have
+// no branching-added terminals).
+func (*SAPConshdlr) Enforce(ctx *scip.Ctx, x []float64) scip.Result {
+	inst := ctx.Data.(*SAPInstance)
+	reach := inst.sapReach(x)
+	for _, t := range inst.S.Terminals() {
+		if reach[t] {
+			continue
+		}
+		// W = complement of the reached set; the violated Steiner cut is
+		// over the arcs entering W.
+		var coefs []lp.Nonzero
+		for a, arc := range inst.S.Arcs {
+			if !reach[arc.Head] && reach[arc.Tail] {
+				coefs = append(coefs, lp.Nonzero{Col: a, Val: 1})
+			}
+		}
+		if len(coefs) == 0 {
+			ctx.MarkInfeasible()
+			return scip.Cutoff
+		}
+		if ctx.AddCut(lp.GE, 1, coefs) {
+			return scip.Separated
+		}
+	}
+	return scip.DidNothing
+}
+
+// SAPSeparator separates directed cuts on fractional points via
+// max-flow, exactly as the SPG separator does.
+type SAPSeparator struct {
+	MaxCutsPerRound int
+}
+
+// Name implements scip.Separator.
+func (*SAPSeparator) Name() string { return "sapcuts" }
+
+// Separate implements scip.Separator.
+func (sep *SAPSeparator) Separate(ctx *scip.Ctx) scip.Result {
+	if ctx.LPSol == nil {
+		return scip.DidNotRun
+	}
+	inst := ctx.Data.(*SAPInstance)
+	s := inst.S
+	x := ctx.LPSol.X
+	maxCuts := sep.MaxCutsPerRound
+	if maxCuts <= 0 {
+		maxCuts = 6
+	}
+	if left := ctx.CutBudgetLeft(); left < maxCuts {
+		maxCuts = left
+	}
+	added := 0
+	for _, t := range s.Terminals() {
+		if t == s.Root || added >= maxCuts {
+			continue
+		}
+		nw := maxflow.New(s.N)
+		ids := make([]int, len(s.Arcs))
+		for a, arc := range s.Arcs {
+			ids[a] = -1
+			if x[a] > 1e-9 {
+				ids[a] = nw.AddArc(arc.Tail, arc.Head, x[a])
+			}
+		}
+		if flow := nw.MaxFlow(s.Root, t); flow >= 1-1e-6 {
+			continue
+		}
+		src := nw.MinCutSource(s.Root)
+		var coefs []lp.Nonzero
+		var lhs float64
+		for a, arc := range s.Arcs {
+			if src[arc.Tail] && !src[arc.Head] {
+				coefs = append(coefs, lp.Nonzero{Col: a, Val: 1})
+				lhs += x[a]
+			}
+		}
+		if len(coefs) == 0 || lhs >= 1-1e-6 {
+			continue
+		}
+		if ctx.AddCut(lp.GE, 1, coefs) {
+			added++
+		}
+	}
+	if added > 0 {
+		return scip.Separated
+	}
+	return scip.DidNothing
+}
+
+// SAPHeuristic builds an arborescence by repeated shortest paths from
+// the already-connected set, honoring the root-degree side constraint.
+type SAPHeuristic struct{}
+
+// Name implements scip.Heuristic.
+func (*SAPHeuristic) Name() string { return "sapheur" }
+
+// Search implements scip.Heuristic.
+func (h *SAPHeuristic) Search(ctx *scip.Ctx) scip.Result {
+	inst := ctx.Data.(*SAPInstance)
+	s := inst.S
+	// Arc costs biased by the LP solution when available.
+	cost := make([]float64, len(s.Arcs))
+	for a, arc := range s.Arcs {
+		cost[a] = arc.Cost
+		if ctx.LPSol != nil {
+			cost[a] *= 1 - 0.75*math.Min(1, ctx.LPSol.X[a])
+		}
+	}
+	x := make([]float64, len(s.Arcs))
+	inTree := make([]bool, s.N)
+	inTree[s.Root] = true
+	anchorUsed := false
+	remaining := map[int]bool{}
+	for _, t := range s.Terminals() {
+		if t != s.Root {
+			remaining[t] = true
+		}
+	}
+	for len(remaining) > 0 {
+		// Dijkstra over arcs from the tree; anchors blocked after the
+		// first one is committed (the side constraint allows only one).
+		dist := make([]float64, s.N)
+		pred := make([]int, s.N)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			pred[i] = -1
+		}
+		pq := &bndHeap{}
+		for v := 0; v < s.N; v++ {
+			if inTree[v] {
+				dist[v] = 0
+				heap.Push(pq, bndItem{v, 0})
+			}
+		}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(bndItem)
+			if it.d > dist[it.v]+1e-15 {
+				continue
+			}
+			for _, a := range inst.outArcs[it.v] {
+				arc := s.Arcs[a]
+				if arc.Anchor && anchorUsed && x[a] == 0 {
+					continue
+				}
+				if nd := it.d + cost[a]; nd < dist[arc.Head]-1e-15 {
+					dist[arc.Head] = nd
+					pred[arc.Head] = a
+					heap.Push(pq, bndItem{arc.Head, nd})
+				}
+			}
+		}
+		best := -1
+		for t := range remaining {
+			if best < 0 || dist[t] < dist[best] {
+				best = t
+			}
+		}
+		if best < 0 || math.IsInf(dist[best], 1) {
+			return scip.DidNothing
+		}
+		for v := best; !inTree[v]; {
+			a := pred[v]
+			if a < 0 {
+				break
+			}
+			x[a] = 1
+			if s.Arcs[a].Anchor {
+				anchorUsed = true
+			}
+			inTree[v] = true
+			v = s.Arcs[a].Tail
+		}
+		delete(remaining, best)
+	}
+	// Prune arcs not on a root→terminal path: repeatedly drop leaves.
+	pruneArborescence(inst, x)
+	if ctx.SubmitSol(x) {
+		return scip.FoundSol
+	}
+	return scip.DidNothing
+}
+
+// pruneArborescence removes arcs into non-terminal leaves.
+func pruneArborescence(inst *SAPInstance, x []float64) {
+	s := inst.S
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < s.N; v++ {
+			if v == s.Root || s.Terminal[v] {
+				continue
+			}
+			outUsed := false
+			for _, a := range inst.outArcs[v] {
+				if x[a] > 0.5 {
+					outUsed = true
+					break
+				}
+			}
+			if outUsed {
+				continue
+			}
+			for _, a := range inst.inArcs[v] {
+				if x[a] > 0.5 {
+					x[a] = 0
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// NewSAPPlugins assembles the variant solver's plugin set.
+func NewSAPPlugins() *scip.Plugins {
+	return &scip.Plugins{
+		Def:        &SAPDef{},
+		Separators: []scip.Separator{&SAPSeparator{}},
+		Heuristics: []scip.Heuristic{&SAPHeuristic{}},
+		Conshdlrs:  []scip.Conshdlr{&SAPConshdlr{}},
+	}
+}
+
+// SolveSAP runs the variant pipeline sequentially and returns the
+// objective in the variant's own scale.
+func SolveSAP(s *SAP, set scip.Settings) (float64, scip.Status, *scip.Solver) {
+	def := &SAPDef{}
+	prob := def.BuildModel(s)
+	plug := NewSAPPlugins()
+	solver := scip.NewSolver(prob, set, plug)
+	st := solver.Solve()
+	if st == scip.StatusOptimal {
+		return s.Value(solver.Incumbent().Obj), st, solver
+	}
+	return math.NaN(), st, solver
+}

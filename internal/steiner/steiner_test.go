@@ -1,0 +1,421 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/scip"
+)
+
+// randomSPG builds a random connected instance with integer costs.
+func randomSPG(seed int64, n, extraEdges, nTerm int) *SPG {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSPG(n)
+	for v := 1; v < n; v++ {
+		s.G.AddEdge(rng.Intn(v), v, float64(1+rng.Intn(10)))
+	}
+	for k := 0; k < extraEdges; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			s.G.AddEdge(u, v, float64(1+rng.Intn(10)))
+		}
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < nTerm; i++ {
+		s.Terminal[perm[i]] = true
+	}
+	return s
+}
+
+func TestDWKnownInstances(t *testing.T) {
+	// Path 0-1-2 with costs 2,3; terminals {0,2} → 5.
+	s := NewSPG(3)
+	s.G.AddEdge(0, 1, 2)
+	s.G.AddEdge(1, 2, 3)
+	s.Terminal[0] = true
+	s.Terminal[2] = true
+	if got := s.SolveDW(); got != 5 {
+		t.Fatalf("DW = %v, want 5", got)
+	}
+	// Star: terminals on 3 leaves, center optional; leaf costs 1,2,3 → 6.
+	s2 := NewSPG(4)
+	s2.G.AddEdge(0, 1, 1)
+	s2.G.AddEdge(0, 2, 2)
+	s2.G.AddEdge(0, 3, 3)
+	s2.Terminal[1] = true
+	s2.Terminal[2] = true
+	s2.Terminal[3] = true
+	if got := s2.SolveDW(); got != 6 {
+		t.Fatalf("DW star = %v, want 6", got)
+	}
+	// Steiner point beats direct connections: triangle terminals with
+	// direct cost 4 each, center at distance 1.5 each.
+	s3 := NewSPG(4)
+	s3.G.AddEdge(0, 1, 4)
+	s3.G.AddEdge(1, 2, 4)
+	s3.G.AddEdge(0, 2, 4)
+	s3.G.AddEdge(0, 3, 1.5)
+	s3.G.AddEdge(1, 3, 1.5)
+	s3.G.AddEdge(2, 3, 1.5)
+	s3.Terminal[0] = true
+	s3.Terminal[1] = true
+	s3.Terminal[2] = true
+	if got := s3.SolveDW(); math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("DW steiner point = %v, want 4.5", got)
+	}
+}
+
+func TestDWSingleTerminal(t *testing.T) {
+	s := randomSPG(1, 6, 4, 1)
+	if got := s.SolveDW(); got != 0 {
+		t.Fatalf("single terminal DW = %v", got)
+	}
+}
+
+func TestValidTree(t *testing.T) {
+	s := NewSPG(3)
+	e1 := s.G.AddEdge(0, 1, 1)
+	e2 := s.G.AddEdge(1, 2, 1)
+	e3 := s.G.AddEdge(0, 2, 1)
+	s.Terminal[0] = true
+	s.Terminal[2] = true
+	if err := s.ValidTree([]int{e1, e2}); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if err := s.ValidTree([]int{e1}); err == nil {
+		t.Fatal("disconnected terminals accepted")
+	}
+	if err := s.ValidTree([]int{e1, e2, e3}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestSTPRoundTrip(t *testing.T) {
+	s := randomSPG(3, 10, 8, 4)
+	s.Name = "roundtrip"
+	var buf strings.Builder
+	if err := WriteSTP(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSTP(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "roundtrip" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if got.G.NumVertices() != s.G.NumVertices() || got.G.AliveEdges() != s.G.AliveEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			got.G.NumVertices(), got.G.AliveEdges(), s.G.NumVertices(), s.G.AliveEdges())
+	}
+	if got.NumTerminals() != s.NumTerminals() {
+		t.Fatalf("terminal mismatch")
+	}
+	if math.Abs(got.SolveDW()-s.SolveDW()) > 1e-9 {
+		t.Fatal("optimum changed through file round trip")
+	}
+}
+
+func TestReadSTPErrors(t *testing.T) {
+	if _, err := ReadSTP(strings.NewReader("SECTION Graph\nE 1 2 3\nEND\n")); err == nil {
+		t.Fatal("edge before nodes accepted")
+	}
+	if _, err := ReadSTP(strings.NewReader("")); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+// Property: presolve reductions preserve the optimal value (DW on the
+// original equals DW on the reduced instance plus the offset).
+func TestReducePreservesOptimum(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		n := 6 + int(seed%8)
+		s := randomSPG(seed, n, n, 2+int(seed%4))
+		want := s.SolveDW()
+		r := s.Clone()
+		tr, _ := Reduce(r, 0)
+		got := r.SolveDW() + tr.Offset
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: reduced %v + offset != original %v", seed, got, want)
+		}
+	}
+}
+
+// Property: the deletion-only in-tree reduction layer preserves optima.
+func TestReduceLocalPreservesOptimum(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		s := randomSPG(seed, 10, 12, 3)
+		want := s.SolveDW()
+		r := s.Clone()
+		ReduceLocal(r, 0)
+		if math.Abs(r.SolveDW()-want) > 1e-9 {
+			t.Fatalf("seed %d: local reduction changed optimum", seed)
+		}
+	}
+}
+
+func TestReduceContractsMandatoryEdges(t *testing.T) {
+	// Degree-1 terminal chain: t0 - v - t1. v has degree 2.
+	s := NewSPG(3)
+	s.G.AddEdge(0, 1, 2)
+	s.G.AddEdge(1, 2, 3)
+	s.Terminal[0] = true
+	s.Terminal[2] = true
+	tr, _ := Reduce(s, 0)
+	if math.Abs(tr.Offset-5) > 1e-9 {
+		t.Fatalf("offset = %v, want 5 (everything contracted)", tr.Offset)
+	}
+	if s.NumTerminals() > 1 {
+		t.Fatalf("expected full contraction, %d terminals left", s.NumTerminals())
+	}
+}
+
+func TestTraceExpandReconstructs(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		s := randomSPG(seed, 9, 9, 3)
+		orig := s.Clone()
+		want := s.SolveDW()
+		tr, _ := Reduce(s, 0)
+		// Solve the reduced instance exactly, recover its tree via the
+		// solver below or just check the cost identity through DW; here we
+		// expand an optimal reduced tree found by brute force over edges.
+		edges := bruteTree(s)
+		full := tr.Expand(edges)
+		if err := orig.ValidTree(full); err != nil {
+			t.Fatalf("seed %d: expanded solution invalid: %v", seed, err)
+		}
+		if math.Abs(orig.TreeCost(full)-want) > 1e-9 {
+			t.Fatalf("seed %d: expanded cost %v want %v", seed, orig.TreeCost(full), want)
+		}
+	}
+}
+
+// bruteTree finds a minimum Steiner tree edge set by enumerating vertex
+// subsets (exponential; only for tiny instances in tests).
+func bruteTree(s *SPG) []int {
+	n := s.G.NumVertices()
+	var alive []int
+	for v := 0; v < n; v++ {
+		if s.G.VertexAlive(v) && !s.Terminal[v] {
+			alive = append(alive, v)
+		}
+	}
+	terms := s.Terminals()
+	bestCost := math.Inf(1)
+	var best []int
+	for mask := 0; mask < 1<<len(alive); mask++ {
+		sel := make([]bool, n)
+		for _, t := range terms {
+			sel[t] = true
+		}
+		for i, v := range alive {
+			if mask&(1<<i) != 0 {
+				sel[v] = true
+			}
+		}
+		edges, cost, ok := s.G.MSTPrim(sel)
+		if ok && cost < bestCost {
+			bestCost = cost
+			best = append([]int(nil), edges...)
+		}
+	}
+	return best
+}
+
+// Dual ascent produces a valid lower bound and sane reduced costs.
+func TestDualAscentLowerBound(t *testing.T) {
+	for seed := int64(300); seed < 340; seed++ {
+		s := randomSPG(seed, 10, 10, 3)
+		opt := s.SolveDW()
+		da := DualAscent(s, s.Root())
+		if da.LowerBound > opt+1e-9 {
+			t.Fatalf("seed %d: dual ascent LB %v exceeds OPT %v", seed, da.LowerBound, opt)
+		}
+		if da.LowerBound < 0 {
+			t.Fatalf("negative lower bound")
+		}
+		for _, r := range da.Reduced {
+			if r < -1e-9 {
+				t.Fatalf("negative reduced cost")
+			}
+		}
+	}
+}
+
+func TestDualAscentInfeasible(t *testing.T) {
+	s := NewSPG(4)
+	s.G.AddEdge(0, 1, 1)
+	s.G.AddEdge(2, 3, 1)
+	s.Terminal[0] = true
+	s.Terminal[2] = true
+	da := DualAscent(s, 0)
+	if !math.IsInf(da.LowerBound, 1) {
+		t.Fatalf("disconnected terminals should give +Inf LB, got %v", da.LowerBound)
+	}
+}
+
+// The shortest-path heuristic returns valid trees with cost ≥ OPT.
+func TestShortestPathHeuristic(t *testing.T) {
+	for seed := int64(400); seed < 440; seed++ {
+		s := randomSPG(seed, 12, 14, 4)
+		opt := s.SolveDW()
+		edges, cost, ok := ShortestPathHeuristic(s, s.Root(), nil)
+		if !ok {
+			t.Fatalf("seed %d: heuristic failed on connected graph", seed)
+		}
+		if err := s.ValidTree(edges); err != nil {
+			t.Fatalf("seed %d: heuristic tree invalid: %v", seed, err)
+		}
+		if cost < opt-1e-9 {
+			t.Fatalf("seed %d: heuristic cost %v below OPT %v", seed, cost, opt)
+		}
+		improved, c2 := MSTPruneImprove(s, edges)
+		if err := s.ValidTree(improved); err != nil {
+			t.Fatalf("seed %d: improved tree invalid: %v", seed, err)
+		}
+		if c2 > cost+1e-9 {
+			t.Fatalf("seed %d: MST-prune worsened %v → %v", seed, cost, c2)
+		}
+	}
+}
+
+// End-to-end: the branch-and-cut solver must match Dreyfus–Wagner.
+func TestSolverMatchesDW(t *testing.T) {
+	for seed := int64(500); seed < 525; seed++ {
+		s := randomSPG(seed, 8+int(seed%6), 10, 2+int(seed%5))
+		want := s.SolveDW()
+		got, status := solveSPG(t, s.Clone())
+		if status != scip.StatusOptimal {
+			t.Fatalf("seed %d: status %v", seed, status)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("seed %d: solver %v, DW %v", seed, got, want)
+		}
+	}
+}
+
+// solveSPG runs the full SCIP-Jack pipeline sequentially.
+func solveSPG(t *testing.T, s *SPG) (float64, scip.Status) {
+	t.Helper()
+	def := &Def{}
+	data, offset := def.Presolve(s, scip.Infinity)
+	prob := def.BuildModel(data.(*SPG))
+	plug := NewPlugins()
+	plug.Def = def
+	set := scip.DefaultSettings()
+	set.HeurFreq = 2
+	solver := scip.NewSolver(prob, set, plug)
+	status := solver.Solve()
+	if solver.Stats.DeadEnds != 0 {
+		t.Fatalf("dead ends: %d", solver.Stats.DeadEnds)
+	}
+	if status == scip.StatusOptimal {
+		return solver.Incumbent().Obj + offset, status
+	}
+	if prob.Vars == nil && s.NumTerminals() <= 1 {
+		return offset, scip.StatusOptimal
+	}
+	return math.Inf(1), status
+}
+
+// Fully-reduced instances (presolve solves them) must still work.
+func TestSolverOnTrivialInstances(t *testing.T) {
+	s := NewSPG(2)
+	s.G.AddEdge(0, 1, 7)
+	s.Terminal[0] = true
+	s.Terminal[1] = true
+	got, st := solveSPG(t, s)
+	if st != scip.StatusOptimal || math.Abs(got-7) > 1e-9 {
+		t.Fatalf("trivial instance: %v %v", got, st)
+	}
+}
+
+func TestSolverUnitVsPerturbedCosts(t *testing.T) {
+	// Unit-cost instances exercise degenerate LPs; perturbed ones break
+	// ties. Both must solve correctly.
+	for _, perturbed := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(99))
+		s := NewSPG(9)
+		for v := 1; v < 9; v++ {
+			s.G.AddEdge(rng.Intn(v), v, 1)
+		}
+		for k := 0; k < 10; k++ {
+			u, v := rng.Intn(9), rng.Intn(9)
+			if u != v {
+				c := 1.0
+				if perturbed {
+					c = float64(1 + rng.Intn(5))
+				}
+				s.G.AddEdge(u, v, c)
+			}
+		}
+		s.Terminal[0], s.Terminal[4], s.Terminal[8] = true, true, true
+		want := s.SolveDW()
+		got, st := solveSPG(t, s.Clone())
+		if st != scip.StatusOptimal || math.Abs(got-want) > 1e-6 {
+			t.Fatalf("perturbed=%v: got %v want %v (%v)", perturbed, got, want, st)
+		}
+	}
+}
+
+func TestOrientTreeProducesFeasibleModelSolution(t *testing.T) {
+	s := randomSPG(7, 10, 10, 3)
+	def := &Def{NoReduce: true}
+	data, _ := def.Presolve(s, scip.Infinity)
+	prob := def.BuildModel(data.(*SPG))
+	inst := prob.Data.(*Instance)
+	edges, _, ok := ShortestPathHeuristic(s, inst.Root, nil)
+	if !ok {
+		t.Fatal("heuristic failed")
+	}
+	x := inst.OrientTree(edges)
+	// A solver verifies it as a global solution.
+	solver := scip.NewSolver(prob, scip.DefaultSettings(), NewPluginsWithDef(def))
+	if !solver.InjectSolution(&scip.Sol{X: x}) {
+		t.Fatal("oriented heuristic tree rejected by model verification")
+	}
+}
+
+// NewPluginsWithDef is a test helper mirroring NewPlugins with a shared Def.
+func NewPluginsWithDef(def *Def) *scip.Plugins {
+	p := NewPlugins()
+	p.Def = def
+	return p
+}
+
+func TestDecisionApplication(t *testing.T) {
+	s := randomSPG(11, 8, 8, 2)
+	def := &Def{NoReduce: true}
+	data, _ := def.Presolve(s, scip.Infinity)
+	prob := def.BuildModel(data.(*SPG))
+	inst := prob.Data.(*Instance)
+	clone := def.CloneData(inst).(*Instance)
+	// Find a non-terminal to branch on.
+	v := -1
+	for i := 0; i < clone.SPG.G.NumVertices(); i++ {
+		if clone.SPG.G.VertexAlive(i) && !clone.SPG.Terminal[i] {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		t.Skip("no non-terminal")
+	}
+	def.ApplyDecision(clone, scip.Decision{Kind: DecisionKind, V: v, Flag: true})
+	if !clone.SPG.Terminal[v] {
+		t.Fatal("make-terminal decision not applied")
+	}
+	if inst.SPG.Terminal[v] {
+		t.Fatal("decision leaked into shared instance")
+	}
+	clone2 := def.CloneData(inst).(*Instance)
+	def.ApplyDecision(clone2, scip.Decision{Kind: DecisionKind, V: v, Flag: false})
+	if clone2.SPG.G.VertexAlive(v) {
+		t.Fatal("delete decision not applied")
+	}
+	if !inst.SPG.G.VertexAlive(v) {
+		t.Fatal("delete leaked into shared instance")
+	}
+}

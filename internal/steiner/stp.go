@@ -1,0 +1,107 @@
+package steiner
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadSTP parses a SteinLib .stp file (the format of the PUC benchmark
+// set). Only the sections relevant to the SPG are interpreted: graph
+// (nodes/edges) and terminals. Vertex numbering is 1-based in the file
+// and 0-based in the SPG.
+func ReadSTP(r io.Reader) (*SPG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var spg *SPG
+	name := ""
+	section := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key := strings.ToLower(fields[0])
+		switch {
+		case key == "section":
+			section = strings.ToLower(fields[1])
+		case key == "end":
+			section = ""
+		case section == "comment" && key == "name":
+			name = strings.Trim(strings.Join(fields[1:], " "), "\"")
+		case section == "graph" && key == "nodes":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("stp: bad nodes line %q", line)
+			}
+			spg = NewSPG(n)
+		case section == "graph" && (key == "e" || key == "a"):
+			if spg == nil {
+				return nil, fmt.Errorf("stp: edge before nodes")
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("stp: bad edge line %q", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			c, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("stp: bad edge line %q", line)
+			}
+			if u == v {
+				continue
+			}
+			spg.G.AddEdge(u-1, v-1, c)
+		case section == "terminals" && key == "t":
+			if spg == nil {
+				return nil, fmt.Errorf("stp: terminal before nodes")
+			}
+			t, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("stp: bad terminal line %q", line)
+			}
+			spg.Terminal[t-1] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if spg == nil {
+		return nil, fmt.Errorf("stp: no graph section")
+	}
+	spg.Name = name
+	return spg, nil
+}
+
+// WriteSTP emits the instance in SteinLib format.
+func WriteSTP(w io.Writer, s *SPG) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "33D32945 STP File, STP Format Version 1.0")
+	fmt.Fprintln(bw, "SECTION Comment")
+	fmt.Fprintf(bw, "Name \"%s\"\n", s.Name)
+	fmt.Fprintln(bw, "END")
+	fmt.Fprintln(bw, "SECTION Graph")
+	fmt.Fprintf(bw, "Nodes %d\n", s.G.NumVertices())
+	fmt.Fprintf(bw, "Edges %d\n", s.G.AliveEdges())
+	for e := range s.G.Edges {
+		if !s.G.EdgeAlive(e) {
+			continue
+		}
+		ed := s.G.Edges[e]
+		fmt.Fprintf(bw, "E %d %d %g\n", ed.U+1, ed.V+1, ed.Cost)
+	}
+	fmt.Fprintln(bw, "END")
+	fmt.Fprintln(bw, "SECTION Terminals")
+	fmt.Fprintf(bw, "Terminals %d\n", s.NumTerminals())
+	for v, t := range s.Terminal {
+		if t && s.G.VertexAlive(v) {
+			fmt.Fprintf(bw, "T %d\n", v+1)
+		}
+	}
+	fmt.Fprintln(bw, "END")
+	fmt.Fprintln(bw, "EOF")
+	return bw.Flush()
+}

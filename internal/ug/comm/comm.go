@@ -1,0 +1,191 @@
+// Package comm provides the message-passing abstraction underneath the
+// UG framework. UG's design point is that the coordination protocol is
+// written once against an abstract communicator and instantiated with a
+// concrete parallelization library — Pthreads/C++11 threads for
+// FiberSCIP-style shared memory, MPI for ParaSCIP-style distributed
+// memory. Here ChannelComm plays the shared-memory role and GobComm the
+// message-serializing (MPI) role: every message crossing a GobComm is
+// gob-encoded to bytes and decoded on the far side, proving that all
+// transferred state (subproblems, solutions, statistics) survives a
+// solver-independent wire format.
+package comm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Tag labels a message with its protocol meaning; the set mirrors the
+// Supervisor/Worker algorithm in the paper (solutionFound, subproblem,
+// status, terminated, startCollecting, stopCollecting, termination) plus
+// the racing ramp-up extensions.
+type Tag int8
+
+// Protocol tags.
+const (
+	TagSubproblem Tag = iota
+	TagRacing
+	TagSolution
+	TagStatus
+	TagNode
+	TagTerminated
+	TagStartCollect
+	TagStopCollect
+	TagExtractAll
+	TagStop
+	TagTermination
+)
+
+func (t Tag) String() string {
+	names := [...]string{"subproblem", "racing", "solution", "status", "node",
+		"terminated", "startCollect", "stopCollect", "extractAll", "stop", "termination"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("tag(%d)", int(t))
+}
+
+// Message is one protocol message. Payload is an opaque byte slice whose
+// interpretation depends on Tag.
+type Message struct {
+	From    int
+	Tag     Tag
+	Payload []byte
+}
+
+// Comm is the communicator: rank 0 is the LoadCoordinator, ranks 1..Size-1
+// are ParaSolvers.
+type Comm interface {
+	// Size returns the number of ranks including the coordinator.
+	Size() int
+	// Send delivers m to rank `to` (never blocks).
+	Send(to int, m Message)
+	// Recv blocks until a message addressed to rank arrives.
+	Recv(rank int) Message
+	// TryRecv returns a pending message for rank without blocking.
+	TryRecv(rank int) (Message, bool)
+}
+
+// mailbox is an unbounded FIFO with blocking receive.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) get() Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 {
+		mb.cond.Wait()
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m
+}
+
+func (mb *mailbox) tryGet() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+// ChannelComm is the shared-memory communicator: messages move by
+// reference between goroutines, the analogue of ug's Pthreads/C++11
+// backends.
+type ChannelComm struct {
+	boxes []*mailbox
+}
+
+// NewChannelComm creates a communicator with size ranks.
+func NewChannelComm(size int) *ChannelComm {
+	c := &ChannelComm{boxes: make([]*mailbox, size)}
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+	}
+	return c
+}
+
+// Size implements Comm.
+func (c *ChannelComm) Size() int { return len(c.boxes) }
+
+// Send implements Comm.
+func (c *ChannelComm) Send(to int, m Message) { c.boxes[to].put(m) }
+
+// Recv implements Comm.
+func (c *ChannelComm) Recv(rank int) Message { return c.boxes[rank].get() }
+
+// TryRecv implements Comm.
+func (c *ChannelComm) TryRecv(rank int) (Message, bool) { return c.boxes[rank].tryGet() }
+
+// GobComm is the simulated distributed-memory communicator: every
+// message is serialized with encoding/gob into a byte buffer on Send and
+// decoded on receive, exactly the data-marshalling boundary an MPI
+// backend would cross. Any state that is not fully encodable (pointers,
+// shared structures) breaks loudly here, which is the property the tests
+// rely on.
+type GobComm struct {
+	boxes []*mailbox // carry encoded frames in Payload with Tag/From zeroed
+}
+
+// NewGobComm creates a gob-serializing communicator with size ranks.
+func NewGobComm(size int) *GobComm {
+	c := &GobComm{boxes: make([]*mailbox, size)}
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+	}
+	return c
+}
+
+// Size implements Comm.
+func (c *GobComm) Size() int { return len(c.boxes) }
+
+// Send implements Comm.
+func (c *GobComm) Send(to int, m Message) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("comm: gob encode: %v", err))
+	}
+	c.boxes[to].put(Message{Payload: buf.Bytes()})
+}
+
+func decodeFrame(frame Message) Message {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(frame.Payload)).Decode(&m); err != nil {
+		panic(fmt.Sprintf("comm: gob decode: %v", err))
+	}
+	return m
+}
+
+// Recv implements Comm.
+func (c *GobComm) Recv(rank int) Message { return decodeFrame(c.boxes[rank].get()) }
+
+// TryRecv implements Comm.
+func (c *GobComm) TryRecv(rank int) (Message, bool) {
+	frame, ok := c.boxes[rank].tryGet()
+	if !ok {
+		return Message{}, false
+	}
+	return decodeFrame(frame), true
+}

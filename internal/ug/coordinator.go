@@ -1,0 +1,569 @@
+package ug
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/ug/comm"
+)
+
+// Config steers one UG run.
+type Config struct {
+	Workers int       // number of ParaSolvers
+	Comm    comm.Comm // nil: ChannelComm(Workers+1)
+
+	RampUp          RampUpMode
+	RacingTime      float64 // seconds of racing before a winner is chosen
+	RacingNodeLimit int     // alt criterion: a solver's open nodes reach this
+
+	TimeLimit float64 // seconds; 0 = none
+
+	CheckpointPath  string  // non-empty enables checkpointing
+	CheckpointEvery float64 // seconds between checkpoints (default 1s)
+	RestartFrom     string  // checkpoint file to restore
+
+	// InitialSolution seeds the incumbent (the paper's hc10p runs re-start
+	// from scratch with the previous best solution attached).
+	InitialSolution *Solution
+
+	// Pool watermarks for collect mode; zero values derive from Workers.
+	CollectLow, CollectHigh int
+
+	// StatusInterval/ShipInterval tune worker communication cadence in
+	// seconds (zero keeps the defaults: 20ms status, 2ms shipping).
+	StatusInterval, ShipInterval float64
+}
+
+// RunStats aggregates the statistics the paper's tables report.
+type RunStats struct {
+	Time               float64
+	RootTime           float64
+	MaxActive          int
+	FirstMaxActiveTime float64
+	Dispatched         int64 // subproblems transferred LC → ParaSolvers
+	Collected          int64 // nodes shipped ParaSolvers → LC
+	TotalNodes         int64 // branch-and-bound nodes processed overall
+	OpenAtEnd          int   // open nodes (workers + pool) when stopping
+	PoolAtStart        int   // primitive nodes restored from a checkpoint
+	InitialPrimal      float64
+	InitialDual        float64
+	FinalPrimal        float64
+	FinalDual          float64
+	IdleRatio          []float64 // per worker (rank-1 indexed)
+	RacingWinner       int       // winning settings index; -1 when not raced
+	RacingWinnerName   string
+	SolvedInRacing     bool
+	Restarted          bool
+}
+
+// Result is the outcome of a UG run.
+type Result struct {
+	Optimal    bool
+	Infeasible bool
+	Obj        float64
+	Sol        *Solution
+	DualBound  float64
+	Stats      RunStats
+}
+
+// subHeap orders the coordinator pool by dual bound (best first).
+type subHeap []*Subproblem
+
+func (h subHeap) Len() int            { return len(h) }
+func (h subHeap) Less(i, j int) bool  { return h[i].Bound < h[j].Bound }
+func (h subHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *subHeap) Push(x interface{}) { *h = append(*h, x.(*Subproblem)) }
+func (h *subHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// coordinator is the LoadCoordinator state (the paper's Algorithm 1).
+type coordinator struct {
+	cfg     Config
+	comm    comm.Comm
+	factory SolverFactory
+
+	pool    subHeap
+	running map[int]*Subproblem
+	idle    []int
+
+	incumbent *Solution
+	nextSubID int64
+
+	workerBound map[int]float64
+	workerOpen  map[int]int
+	workerNodes map[int]int64
+
+	dispatchAt map[int]time.Time
+	busy       map[int]time.Duration
+
+	collectMode        bool
+	racing             bool
+	racingRootRequeued bool
+	racingIdx          map[int]int // rank → settings index
+	winnerRank         int
+	windingUp          bool // racing finished, waiting for extraction/stops
+	stopping           bool
+
+	start    time.Time
+	lastCkpt time.Time
+	rootRank int
+
+	stats RunStats
+}
+
+// Run executes a complete UG solve: global presolve in the coordinator,
+// ramp-up, coordinated parallel search, and shutdown.
+func Run(factory SolverFactory, cfg Config) (*Result, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	c := cfg.Comm
+	if c == nil {
+		c = comm.NewChannelComm(cfg.Workers + 1)
+	}
+	if c.Size() != cfg.Workers+1 {
+		return nil, fmt.Errorf("ug: comm size %d != workers+1 = %d", c.Size(), cfg.Workers+1)
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1.0
+	}
+	if cfg.CollectLow <= 0 {
+		cfg.CollectLow = cfg.Workers
+	}
+	if cfg.CollectHigh <= cfg.CollectLow {
+		cfg.CollectHigh = 2*cfg.CollectLow + 1
+	}
+	if cfg.RacingTime <= 0 {
+		cfg.RacingTime = 0.25
+	}
+	if cfg.RacingNodeLimit <= 0 {
+		cfg.RacingNodeLimit = 50
+	}
+
+	var wg sync.WaitGroup
+	for rank := 1; rank <= cfg.Workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			runWorker(rank, c, factory)
+		}(rank)
+	}
+
+	co := &coordinator{
+		cfg:         cfg,
+		comm:        c,
+		factory:     factory,
+		running:     map[int]*Subproblem{},
+		workerBound: map[int]float64{},
+		workerOpen:  map[int]int{},
+		workerNodes: map[int]int64{},
+		dispatchAt:  map[int]time.Time{},
+		busy:        map[int]time.Duration{},
+		racingIdx:   map[int]int{},
+		winnerRank:  -1,
+		rootRank:    -1,
+	}
+	co.stats.RacingWinner = -1
+	res, err := co.run()
+	// Shut every worker down and wait for exit.
+	for rank := 1; rank <= cfg.Workers; rank++ {
+		c.Send(rank, comm.Message{From: 0, Tag: comm.TagTermination})
+	}
+	wg.Wait()
+	return res, err
+}
+
+func (co *coordinator) run() (*Result, error) {
+	co.start = time.Now()
+	co.lastCkpt = co.start
+
+	root, initial, err := co.factory.GlobalPresolve()
+	if err != nil {
+		return nil, fmt.Errorf("ug: global presolve: %w", err)
+	}
+	if initial != nil {
+		co.incumbent = initial
+	}
+	if co.cfg.InitialSolution != nil &&
+		(co.incumbent == nil || co.cfg.InitialSolution.Obj < co.incumbent.Obj) {
+		co.incumbent = co.cfg.InitialSolution
+	}
+
+	// Restore from checkpoint or seed the pool with the root.
+	if co.cfg.RestartFrom != "" {
+		ck, err := loadCheckpoint(co.cfg.RestartFrom)
+		if err != nil {
+			return nil, fmt.Errorf("ug: restart: %w", err)
+		}
+		for i := range ck.Pool {
+			sub := ck.Pool[i]
+			co.pushPool(&sub)
+		}
+		if ck.Incumbent != nil && (co.incumbent == nil || ck.Incumbent.Obj < co.incumbent.Obj) {
+			co.incumbent = ck.Incumbent
+		}
+		co.stats.Restarted = true
+		co.stats.PoolAtStart = len(co.pool)
+	} else {
+		co.pushPool(&Subproblem{ID: 0, Bound: math.Inf(-1), Payload: root})
+	}
+	co.stats.InitialPrimal = co.primalBound()
+	co.stats.InitialDual = co.dualBound()
+
+	// Ramp-up.
+	if co.cfg.RampUp == RampUpRacing && !co.stats.Restarted && len(co.pool) == 1 {
+		co.racing = true
+		rootSub := co.pool[0]
+		co.pool = nil
+		for rank := 1; rank <= co.cfg.Workers; rank++ {
+			idx := (rank - 1) % co.factory.NumSettings()
+			co.racingIdx[rank] = idx
+			co.dispatchTo(rank, rootSub, comm.TagRacing, idx)
+		}
+	} else {
+		for rank := 1; rank <= co.cfg.Workers; rank++ {
+			co.idle = append(co.idle, rank)
+		}
+		co.dispatchAll()
+	}
+
+	// Main event loop (Algorithm 1 with polling for timers).
+	for {
+		if msg, ok := co.comm.TryRecv(0); ok {
+			co.handle(msg)
+		} else {
+			time.Sleep(200 * time.Microsecond)
+		}
+		now := time.Now()
+		elapsed := now.Sub(co.start).Seconds()
+
+		if co.racing && !co.windingUp {
+			co.maybeEndRacing(elapsed)
+		}
+		if !co.racing {
+			co.adjustCollectMode()
+			co.dispatchAll()
+		}
+		if co.cfg.CheckpointPath != "" && now.Sub(co.lastCkpt).Seconds() >= co.cfg.CheckpointEvery {
+			co.lastCkpt = now
+			co.saveCheckpoint()
+		}
+		if !co.stopping && co.cfg.TimeLimit > 0 && elapsed > co.cfg.TimeLimit {
+			co.beginStop()
+		}
+		if co.finished() {
+			return co.finalize(), nil
+		}
+	}
+}
+
+// pushPool adds a subproblem to the coordinator pool.
+func (co *coordinator) pushPool(sub *Subproblem) {
+	if co.incumbent != nil && sub.Bound >= co.incumbent.Obj-1e-12 {
+		return // dominated
+	}
+	heap.Push(&co.pool, sub)
+}
+
+// dispatchTo sends one subproblem to a specific worker.
+func (co *coordinator) dispatchTo(rank int, sub *Subproblem, tag comm.Tag, settingsIdx int) {
+	co.running[rank] = sub
+	co.dispatchAt[rank] = time.Now()
+	co.workerBound[rank] = sub.Bound
+	co.workerOpen[rank] = 1
+	co.workerNodes[rank] = 0
+	co.stats.Dispatched++
+	if co.rootRank < 0 {
+		co.rootRank = rank
+	}
+	if active := len(co.running); active > co.stats.MaxActive {
+		co.stats.MaxActive = active
+		co.stats.FirstMaxActiveTime = time.Since(co.start).Seconds()
+	}
+	co.comm.Send(rank, comm.Message{From: 0, Tag: tag, Payload: enc(workMsg{
+		Sub:         *sub,
+		Incumbent:   co.incumbent,
+		SettingsIdx: settingsIdx,
+		StatusSec:   co.cfg.StatusInterval,
+		ShipSec:     co.cfg.ShipInterval,
+	})})
+	if co.collectMode {
+		co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStartCollect})
+	}
+}
+
+// dispatchAll matches idle workers with pooled subproblems.
+func (co *coordinator) dispatchAll() {
+	if co.stopping {
+		return
+	}
+	for len(co.idle) > 0 && len(co.pool) > 0 {
+		rank := co.idle[len(co.idle)-1]
+		co.idle = co.idle[:len(co.idle)-1]
+		sub := heap.Pop(&co.pool).(*Subproblem)
+		if co.incumbent != nil && sub.Bound >= co.incumbent.Obj-1e-12 {
+			co.idle = append(co.idle, rank)
+			continue
+		}
+		co.dispatchTo(rank, sub, comm.TagSubproblem, 0)
+	}
+}
+
+// adjustCollectMode implements the paper's dynamic load balancing: when
+// the pool runs low the coordinator asks active solvers to ship heavy
+// subproblems; when it is replenished it stops the collection.
+func (co *coordinator) adjustCollectMode() {
+	if co.stopping {
+		return
+	}
+	if !co.collectMode && len(co.pool) < co.cfg.CollectLow && len(co.running) > 0 {
+		co.collectMode = true
+		for rank := range co.running {
+			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStartCollect})
+		}
+	} else if co.collectMode && len(co.pool) >= co.cfg.CollectHigh {
+		co.collectMode = false
+		for rank := range co.running {
+			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStopCollect})
+		}
+	}
+}
+
+// maybeEndRacing checks the racing termination criteria and, when met,
+// declares a winner: best dual bound, ties broken by more open nodes.
+func (co *coordinator) maybeEndRacing(elapsed float64) {
+	trigger := elapsed >= co.cfg.RacingTime
+	if !trigger {
+		for _, open := range co.workerOpen {
+			if open >= co.cfg.RacingNodeLimit {
+				trigger = true
+				break
+			}
+		}
+	}
+	if !trigger {
+		return
+	}
+	best := -1
+	for rank := range co.running {
+		if best < 0 {
+			best = rank
+			continue
+		}
+		bb, bo := co.workerBound[best], co.workerOpen[best]
+		rb, ro := co.workerBound[rank], co.workerOpen[rank]
+		if rb > bb+1e-9 || (math.Abs(rb-bb) <= 1e-9 && ro > bo) {
+			best = rank
+		}
+	}
+	if best < 0 {
+		return // all racing solvers already terminated
+	}
+	co.winnerRank = best
+	co.stats.RacingWinner = co.racingIdx[best]
+	co.stats.RacingWinnerName = co.factory.SettingsName(co.racingIdx[best])
+	co.windingUp = true
+	co.comm.Send(best, comm.Message{From: 0, Tag: comm.TagExtractAll})
+	for rank := range co.running {
+		if rank != best {
+			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStop})
+		}
+	}
+}
+
+// beginStop interrupts all running solvers (time limit reached).
+func (co *coordinator) beginStop() {
+	co.stopping = true
+	for rank := range co.running {
+		co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStop})
+	}
+}
+
+// handle processes one incoming message.
+func (co *coordinator) handle(m comm.Message) {
+	switch m.Tag {
+	case comm.TagSolution:
+		var sol Solution
+		dec(m.Payload, &sol)
+		if co.incumbent == nil || sol.Obj < co.incumbent.Obj-1e-12 {
+			co.incumbent = &sol
+			// Broadcast to all running solvers and prune the pool.
+			for rank := range co.running {
+				if rank != m.From {
+					co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagSolution, Payload: enc(sol)})
+				}
+			}
+			keep := co.pool[:0]
+			for _, sub := range co.pool {
+				if sub.Bound < co.incumbent.Obj-1e-12 {
+					keep = append(keep, sub)
+				}
+			}
+			co.pool = keep
+			heap.Init(&co.pool)
+		}
+	case comm.TagNode:
+		var sub Subproblem
+		dec(m.Payload, &sub)
+		co.nextSubID++
+		sub.ID = co.nextSubID
+		co.stats.Collected++
+		co.pushPool(&sub)
+	case comm.TagStatus:
+		var st StatusReport
+		dec(m.Payload, &st)
+		co.workerBound[m.From] = st.Bound
+		co.workerOpen[m.From] = st.Open
+		co.workerNodes[m.From] = st.Nodes
+		if m.From == co.rootRank && co.stats.RootTime == 0 && st.RootTime > 0 {
+			co.stats.RootTime = st.RootTime
+		}
+	case comm.TagTerminated:
+		var out Outcome
+		dec(m.Payload, &out)
+		sub := co.running[m.From]
+		delete(co.running, m.From)
+		delete(co.workerBound, m.From)
+		co.workerOpen[m.From] = 0
+		co.stats.TotalNodes += out.Nodes
+		if t, ok := co.dispatchAt[m.From]; ok {
+			co.busy[m.From] += time.Since(t)
+			delete(co.dispatchAt, m.From)
+		}
+		if co.stats.RootTime == 0 && m.From == co.rootRank && out.RootTime > 0 {
+			co.stats.RootTime = out.RootTime
+		}
+		if co.racing {
+			co.handleRacingTermination(m.From, out, sub)
+			return
+		}
+		if !out.Completed && sub != nil {
+			if co.stopping {
+				// The interrupted subproblem root returns to the pool as a
+				// primitive node; its explored part is the restart overhead
+				// the paper describes.
+				co.stats.OpenAtEnd += out.OpenLeft
+				co.pushPool(sub)
+			} else {
+				// Interrupted for another reason (should not happen in
+				// normal mode); requeue defensively.
+				co.pushPool(sub)
+			}
+		}
+		co.idle = append(co.idle, m.From)
+	}
+}
+
+// handleRacingTermination tracks racing solvers finishing or stopping.
+func (co *coordinator) handleRacingTermination(rank int, out Outcome, sub *Subproblem) {
+	co.idle = append(co.idle, rank)
+	if co.stopping && !out.Completed {
+		co.stats.OpenAtEnd += out.OpenLeft
+		if !co.racingRootRequeued && sub != nil {
+			// Time limit hit mid-race with no winner: requeue the shared
+			// root once so a checkpoint still covers the whole search.
+			co.racingRootRequeued = true
+			co.pushPool(sub)
+		}
+	}
+	if out.Completed && !co.windingUp {
+		// A racing solver finished the whole instance: stop the race.
+		co.stats.SolvedInRacing = true
+		co.stats.RacingWinner = co.racingIdx[rank]
+		co.stats.RacingWinnerName = co.factory.SettingsName(co.racingIdx[rank])
+		co.windingUp = true
+		co.winnerRank = rank
+		for r := range co.running {
+			co.comm.Send(r, comm.Message{From: 0, Tag: comm.TagStop})
+		}
+	}
+	if len(co.running) == 0 {
+		// Racing phase fully wound up; switch to normal coordination.
+		co.racing = false
+		co.windingUp = false
+	}
+}
+
+// finished reports whether the run is over.
+func (co *coordinator) finished() bool {
+	if co.racing {
+		return false
+	}
+	if co.stopping {
+		return len(co.running) == 0
+	}
+	return len(co.pool) == 0 && len(co.running) == 0
+}
+
+// primalBound returns the incumbent objective (+Inf if none).
+func (co *coordinator) primalBound() float64 {
+	if co.incumbent == nil {
+		return inf
+	}
+	return co.incumbent.Obj
+}
+
+// dualBound returns the global dual bound.
+func (co *coordinator) dualBound() float64 {
+	lb := inf
+	for _, sub := range co.pool {
+		if sub.Bound < lb {
+			lb = sub.Bound
+		}
+	}
+	for rank := range co.running {
+		if b, ok := co.workerBound[rank]; ok && b < lb {
+			lb = b
+		}
+	}
+	if lb == inf {
+		return co.primalBound()
+	}
+	return lb
+}
+
+// finalize assembles the Result.
+func (co *coordinator) finalize() *Result {
+	total := time.Since(co.start)
+	co.stats.Time = total.Seconds()
+	co.stats.FinalPrimal = co.primalBound()
+	co.stats.FinalDual = co.dualBound()
+	co.stats.OpenAtEnd += len(co.pool)
+	co.stats.IdleRatio = make([]float64, co.cfg.Workers)
+	for rank := 1; rank <= co.cfg.Workers; rank++ {
+		b := co.busy[rank]
+		if t, ok := co.dispatchAt[rank]; ok {
+			b += time.Since(t)
+		}
+		idle := 1 - b.Seconds()/total.Seconds()
+		if idle < 0 {
+			idle = 0
+		}
+		co.stats.IdleRatio[rank-1] = idle
+	}
+	if co.cfg.CheckpointPath != "" {
+		co.saveCheckpoint()
+	}
+	res := &Result{Stats: co.stats, DualBound: co.stats.FinalDual}
+	if co.incumbent != nil {
+		res.Obj = co.incumbent.Obj
+		res.Sol = co.incumbent
+	}
+	if !co.stopping {
+		if co.incumbent != nil {
+			res.Optimal = true
+			res.DualBound = res.Obj
+		} else {
+			res.Infeasible = true
+		}
+	}
+	return res
+}

@@ -1,0 +1,328 @@
+package ug
+
+import (
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ug/comm"
+)
+
+// fakeSolver is a scripted base solver used to exercise the coordinator
+// protocol without the weight of the real branch-and-cut stack. The
+// "problem" is: find the minimum of f(i) = ((i*2654435761)>>7) % 1000
+// over i ∈ [lo, hi); a subproblem is an interval, solved by scanning
+// `chunk` values per poll and splitting off the upper half as an open
+// node that can be shipped to the coordinator.
+type fakeFactory struct {
+	lo, hi   int64
+	chunk    int64
+	settings int
+	created  int64 // atomic: workers created
+}
+
+func f(i int64) float64 {
+	return float64((uint64(i) * 2654435761 >> 7) % 1000)
+}
+
+func encodeIv(lo, hi int64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, uint64(lo))
+	binary.LittleEndian.PutUint64(b[8:], uint64(hi))
+	return b
+}
+
+func decodeIv(b []byte) (int64, int64) {
+	return int64(binary.LittleEndian.Uint64(b)), int64(binary.LittleEndian.Uint64(b[8:]))
+}
+
+func (ff *fakeFactory) GlobalPresolve() ([]byte, *Solution, error) {
+	return encodeIv(ff.lo, ff.hi), nil, nil
+}
+func (ff *fakeFactory) NumSettings() int { return maxInt(1, ff.settings) }
+func (ff *fakeFactory) SettingsName(idx int) string {
+	return string(rune('A' + idx))
+}
+func (ff *fakeFactory) CreateWorker(settingsIdx int) WorkerSolver {
+	atomic.AddInt64(&ff.created, 1)
+	return &fakeWorker{ff: ff}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type fakeWorker struct {
+	ff *fakeFactory
+}
+
+func (fw *fakeWorker) Solve(sub *Subproblem, sess *Session) Outcome {
+	lo, hi := decodeIv(sub.Payload)
+	best := math.Inf(1)
+	if inc := sess.InitialIncumbent(); inc != nil {
+		best = inc.Obj
+	}
+	// The open "tree": intervals not yet scanned.
+	open := [][2]int64{{lo, hi}}
+	var nodes int64
+	for len(open) > 0 {
+		cur := open[len(open)-1]
+		open = open[:len(open)-1]
+		// Split: keep the lower chunk, push the rest.
+		mid := cur[0] + fw.ff.chunk
+		if mid < cur[1] {
+			open = append(open, [2]int64{mid, cur[1]})
+		} else {
+			mid = cur[1]
+		}
+		for i := cur[0]; i < mid; i++ {
+			if v := f(i); v < best {
+				best = v
+				sess.FoundSolution(Solution{Obj: v, Payload: encodeIv(i, i+1)})
+			}
+		}
+		nodes++
+		cmd := sess.Poll(StatusReport{Bound: 0, Open: len(open), Nodes: nodes})
+		for _, sol := range cmd.Solutions {
+			if sol.Obj < best {
+				best = sol.Obj
+			}
+		}
+		if cmd.ExtractAll {
+			for _, iv := range open {
+				sess.ShipNode(Subproblem{Bound: 0, Payload: encodeIv(iv[0], iv[1])})
+			}
+			return Outcome{Completed: false, Nodes: nodes, OpenLeft: 0}
+		}
+		if cmd.WantNode && len(open) > 0 {
+			iv := open[0]
+			open = open[1:]
+			sess.ShipNode(Subproblem{Bound: 0, Payload: encodeIv(iv[0], iv[1])})
+		}
+		if cmd.Stop {
+			return Outcome{Completed: false, Nodes: nodes, OpenLeft: len(open)}
+		}
+	}
+	return Outcome{Completed: true, Nodes: nodes}
+}
+
+// trueMin scans the whole range.
+func trueMin(lo, hi int64) float64 {
+	best := math.Inf(1)
+	for i := lo; i < hi; i++ {
+		if v := f(i); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestCoordinatorFindsMinimum(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 40000, chunk: 500}
+	want := trueMin(0, 40000)
+	for _, workers := range []int{1, 2, 5} {
+		res, err := Run(ff, Config{Workers: workers, StatusInterval: 1e-4, ShipInterval: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("workers %d: %+v", workers, res)
+		}
+		if res.Obj != want {
+			t.Fatalf("workers %d: obj %v want %v", workers, res.Obj, want)
+		}
+	}
+}
+
+func TestCoordinatorGobComm(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 20000, chunk: 400}
+	want := trueMin(0, 20000)
+	res, err := Run(ff, Config{
+		Workers:        3,
+		Comm:           comm.NewGobComm(4),
+		StatusInterval: 1e-4,
+		ShipInterval:   1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Obj != want {
+		t.Fatalf("gob run: %+v want %v", res, want)
+	}
+}
+
+func TestRacingDeclaresWinner(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 3_000_000, chunk: 50, settings: 4}
+	res, err := Run(ff, Config{
+		Workers:    4,
+		RampUp:     RampUpRacing,
+		RacingTime: 0.05,
+		TimeLimit:  0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RacingWinner < 0 {
+		t.Fatalf("no winner: %+v", res.Stats)
+	}
+	if res.Stats.RacingWinnerName == "" {
+		t.Fatal("winner unnamed")
+	}
+}
+
+func TestTimeLimitCheckpointAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "c.gob")
+	ff := &fakeFactory{lo: 0, hi: 3_000_000, chunk: 200}
+	res1, err := Run(ff, Config{
+		Workers:         2,
+		TimeLimit:       0.15,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 0.02,
+		StatusInterval:  1e-4,
+		ShipInterval:    1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Optimal {
+		t.Skip("machine too fast; instance finished before the limit")
+	}
+	ck, err := LoadCheckpointInfo(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Pool) == 0 {
+		t.Fatal("checkpoint holds no primitive nodes")
+	}
+	// Primitive nodes must be far fewer than the open frontier.
+	if res1.Stats.OpenAtEnd > 0 && len(ck.Pool) > res1.Stats.OpenAtEnd {
+		t.Fatalf("primitive nodes %d exceed open frontier %d", len(ck.Pool), res1.Stats.OpenAtEnd)
+	}
+	// Restarting and finishing must reach the global optimum.
+	want := trueMin(0, 3_000_000)
+	res2, err := Run(ff, Config{
+		Workers:        4,
+		RestartFrom:    ckpt,
+		StatusInterval: 1e-4,
+		ShipInterval:   1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Optimal || res2.Obj != want {
+		t.Fatalf("restart: %+v want %v", res2, want)
+	}
+	if !res2.Stats.Restarted || res2.Stats.PoolAtStart != len(ck.Pool) {
+		t.Fatalf("restart stats wrong: %+v", res2.Stats)
+	}
+}
+
+func TestInitialSolutionUsed(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 10000, chunk: 300}
+	want := trueMin(0, 10000)
+	seed := &Solution{Obj: want, Payload: encodeIv(0, 1)}
+	res, err := Run(ff, Config{Workers: 2, InitialSolution: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Obj != want {
+		t.Fatalf("seeded run: %+v want %v", res, want)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 60000, chunk: 250}
+	res, err := Run(ff, Config{Workers: 3, StatusInterval: 1e-4, ShipInterval: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.TotalNodes <= 0 {
+		t.Fatal("no nodes accounted")
+	}
+	if st.Dispatched < 1 {
+		t.Fatal("no dispatches accounted")
+	}
+	if st.MaxActive < 1 || st.MaxActive > 3 {
+		t.Fatalf("MaxActive %d", st.MaxActive)
+	}
+	if st.Time <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if len(st.IdleRatio) != 3 {
+		t.Fatalf("idle ratios %v", st.IdleRatio)
+	}
+}
+
+func TestSubproblemGobSafety(t *testing.T) {
+	// Every coordination payload must round-trip through gob.
+	sub := Subproblem{ID: 7, Depth: 3, Bound: -12.5, Payload: []byte{1, 2, 3}}
+	var got Subproblem
+	dec(enc(sub), &got)
+	if got.ID != 7 || got.Depth != 3 || got.Bound != -12.5 || len(got.Payload) != 3 {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	w := workMsg{Sub: sub, Incumbent: &Solution{Obj: 3.5}, SettingsIdx: 2, StatusSec: 0.5}
+	var gw workMsg
+	dec(enc(w), &gw)
+	if gw.Incumbent == nil || gw.Incumbent.Obj != 3.5 || gw.SettingsIdx != 2 {
+		t.Fatalf("workMsg roundtrip: %+v", gw)
+	}
+}
+
+func TestShiftWorkersCreated(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 5000, chunk: 100, settings: 3}
+	if _, err := Run(ff, Config{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&ff.created) < 1 {
+		t.Fatal("no workers created")
+	}
+}
+
+func TestCommSizeMismatch(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 100, chunk: 10}
+	_, err := Run(ff, Config{Workers: 3, Comm: comm.NewChannelComm(2)})
+	if err == nil {
+		t.Fatal("mismatched comm size accepted")
+	}
+}
+
+func TestRestartFromMissingCheckpoint(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 100, chunk: 10}
+	_, err := Run(ff, Config{Workers: 1, RestartFrom: "/nonexistent/ckpt.gob"})
+	if err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.gob")
+	if err := osWriteFile(path, []byte("not a gob stream")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestZeroWorkersDefaultsToOne(t *testing.T) {
+	ff := &fakeFactory{lo: 0, hi: 2000, chunk: 100}
+	res, err := Run(ff, Config{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("%+v", res)
+	}
+	if len(res.Stats.IdleRatio) != 1 {
+		t.Fatalf("expected 1 worker, idle=%v", res.Stats.IdleRatio)
+	}
+}

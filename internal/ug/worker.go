@@ -1,0 +1,138 @@
+package ug
+
+import (
+	"time"
+
+	"repro/internal/ug/comm"
+)
+
+// Session is the framework-side companion a base solver talks to while
+// solving one subproblem (Algorithm 2's communication duties): it
+// forwards solutions, emits periodic status reports, services collect
+// requests and relays coordinator commands.
+type Session struct {
+	rank    int
+	comm    comm.Comm
+	initial *Solution // incumbent attached to the dispatch
+
+	collectMode bool
+	stopped     bool
+	extractAll  bool
+
+	lastStatus   time.Time
+	lastShip     time.Time
+	statusEvery  time.Duration
+	shipEvery    time.Duration
+	bestReported float64 // objective of the best solution this session reported/knows
+
+	shipped int // nodes shipped during this session
+}
+
+func newSession(rank int, c comm.Comm, initial *Solution, statusSec, shipSec float64) *Session {
+	statusEvery := 20 * time.Millisecond
+	if statusSec > 0 {
+		statusEvery = time.Duration(statusSec * float64(time.Second))
+	}
+	shipEvery := 2 * time.Millisecond
+	if shipSec > 0 {
+		shipEvery = time.Duration(shipSec * float64(time.Second))
+	}
+	s := &Session{
+		rank:        rank,
+		comm:        c,
+		initial:     initial,
+		statusEvery: statusEvery,
+		shipEvery:   shipEvery,
+		bestReported: func() float64 {
+			if initial != nil {
+				return initial.Obj
+			}
+			return inf
+		}(),
+	}
+	return s
+}
+
+// InitialIncumbent returns the solution attached to the dispatch, if any.
+func (s *Session) InitialIncumbent() *Solution { return s.initial }
+
+// Poll services the message queue and returns the coordinator's
+// directives. The base solver must call it at least once per node.
+func (s *Session) Poll(st StatusReport) Command {
+	var cmd Command
+	for {
+		m, ok := s.comm.TryRecv(s.rank)
+		if !ok {
+			break
+		}
+		switch m.Tag {
+		case comm.TagSolution:
+			var sol Solution
+			dec(m.Payload, &sol)
+			if sol.Obj < s.bestReported {
+				s.bestReported = sol.Obj
+			}
+			cmd.Solutions = append(cmd.Solutions, &sol)
+		case comm.TagStartCollect:
+			s.collectMode = true
+		case comm.TagStopCollect:
+			s.collectMode = false
+		case comm.TagExtractAll:
+			s.extractAll = true
+		case comm.TagStop, comm.TagTermination:
+			s.stopped = true
+		}
+	}
+	now := time.Now()
+	if now.Sub(s.lastStatus) >= s.statusEvery {
+		s.lastStatus = now
+		s.comm.Send(0, comm.Message{From: s.rank, Tag: comm.TagStatus, Payload: enc(st)})
+	}
+	if s.collectMode && st.Open > 1 && now.Sub(s.lastShip) >= s.shipEvery {
+		s.lastShip = now
+		cmd.WantNode = true
+	}
+	cmd.Stop = s.stopped
+	cmd.ExtractAll = s.extractAll
+	return cmd
+}
+
+// ShipNode sends one open node to the coordinator (collect mode or
+// racing-winner extraction).
+func (s *Session) ShipNode(sub Subproblem) {
+	s.shipped++
+	s.comm.Send(0, comm.Message{From: s.rank, Tag: comm.TagNode, Payload: enc(sub)})
+}
+
+// FoundSolution reports a newly found primal solution if it improves on
+// everything this session has seen.
+func (s *Session) FoundSolution(sol Solution) {
+	if sol.Obj >= s.bestReported-1e-12 {
+		return
+	}
+	s.bestReported = sol.Obj
+	s.comm.Send(0, comm.Message{From: s.rank, Tag: comm.TagSolution, Payload: enc(sol)})
+}
+
+// runWorker is the ParaSolver main loop (the paper's Algorithm 2): wait
+// for work, solve it while communicating, report termination; exit on
+// the termination tag.
+func runWorker(rank int, c comm.Comm, factory SolverFactory) {
+	for {
+		m := c.Recv(rank)
+		switch m.Tag {
+		case comm.TagSubproblem, comm.TagRacing:
+			var w workMsg
+			dec(m.Payload, &w)
+			solver := factory.CreateWorker(w.SettingsIdx)
+			sess := newSession(rank, c, w.Incumbent, w.StatusSec, w.ShipSec)
+			out := solver.Solve(&w.Sub, sess)
+			c.Send(0, comm.Message{From: rank, Tag: comm.TagTerminated, Payload: enc(out)})
+		case comm.TagTermination:
+			return
+		case comm.TagStop, comm.TagStartCollect, comm.TagStopCollect, comm.TagSolution:
+			// Stale commands between subproblems: solutions are re-attached
+			// by the coordinator on the next dispatch; ignore the rest.
+		}
+	}
+}
