@@ -1,0 +1,23 @@
+# Convenience targets; `make check` is the full verification gate.
+
+.PHONY: build test lint race fmt check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# lint runs the solver-aware static analyzers (see internal/analysis and
+# the "Static analysis" section of README.md).
+lint:
+	go run ./cmd/ugolint ./...
+
+race:
+	go test -race ./internal/ug/... ./internal/scip/...
+
+fmt:
+	gofmt -w .
+
+check:
+	./scripts/check.sh

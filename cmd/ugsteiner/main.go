@@ -97,6 +97,10 @@ func report(res *ug.Result, offset float64) {
 	fmt.Printf("nodes    %d total, %d open at end, %d transferred, %d collected\n",
 		st.TotalNodes, st.OpenAtEnd, st.Dispatched, st.Collected)
 	fmt.Printf("solvers  max active %d (first at %.2fs)\n", st.MaxActive, st.FirstMaxActiveTime)
+	if st.CheckpointErrors > 0 {
+		fmt.Printf("warning  %d checkpoint save(s) failed; the file on disk may be stale\n",
+			st.CheckpointErrors)
+	}
 	if st.RacingWinner >= 0 {
 		fmt.Printf("racing   winner settings %d (%s), solved in racing: %v\n",
 			st.RacingWinner, st.RacingWinnerName, st.SolvedInRacing)

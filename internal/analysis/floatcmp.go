@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatcmpAllowFuncs names functions that are themselves tolerance
+// helpers: raw float comparison inside them is the point. Functions in
+// the num package (the repository's eps-helper layer) are always exempt.
+var FloatcmpAllowFuncs = map[string]bool{}
+
+// FloatCmp flags raw ==/!= (and switch) on float-typed expressions.
+// LP pivoting, SDP feasibility, and B&B bound comparisons accumulate
+// rounding error; exact equality on such values is either a latent bug
+// or an exact-sentinel check that must be annotated as audited. Fixes
+// route through the tolerance helpers in internal/num. Comparisons
+// against infinity sentinels (math.Inf, Infinity constants) are exempt:
+// infinities are assigned, never computed, so equality is exact.
+var FloatCmp = &Analyzer{
+	Name:    "floatcmp",
+	Doc:     "raw ==/!= or switch on float-typed expressions outside tolerance helpers",
+	Applies: isInternal,
+	Run:     runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, "/num") {
+		return // the eps-helper layer itself
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && FloatcmpAllowFuncs[fd.Name.Name] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatExpr(p, n.X) && !isFloatExpr(p, n.Y) {
+					return true
+				}
+				if isInfSentinel(p, n.X) || isInfSentinel(p, n.Y) {
+					return true
+				}
+				p.Reportf(n.OpPos, "float comparison with %s; use a tolerance helper (internal/num) or annotate an audited exact check", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloatExpr(p, n.Tag) {
+					p.Reportf(n.Switch, "switch on float-typed expression compares exactly; use tolerance-based branching")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isInfSentinel recognizes expressions that denote an exact infinity:
+// math.Inf(...) calls, possibly negated, and named values whose name
+// spells infinity (Infinity, negInf, posInf, inf).
+func isInfSentinel(p *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isInfSentinel(p, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return isInfSentinel(p, e.X)
+		}
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if isPkgFunc(p, sel, "math", "Inf") {
+				return true
+			}
+		}
+	case *ast.Ident:
+		return isInfName(e.Name)
+	case *ast.SelectorExpr:
+		return isInfName(e.Sel.Name)
+	}
+	return false
+}
+
+func isInfName(name string) bool {
+	n := strings.ToLower(name)
+	return n == "inf" || n == "neginf" || n == "posinf" || n == "infinity" ||
+		strings.HasSuffix(n, "infinity")
+}
+
+// isPkgFunc reports whether sel is a reference to pkgPath.fn.
+func isPkgFunc(p *Pass, sel *ast.SelectorExpr, pkgPath, fn string) bool {
+	if sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

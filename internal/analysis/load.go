@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File // non-test files only
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects type-checker diagnostics. The analyzers still
+	// run on a partially checked package, but callers (selfcheck, CLI)
+	// should surface these: missing type info silently weakens analysis.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single module without any
+// dependency on go/packages: module-local imports resolve against the
+// module root, everything else through the stdlib source importer.
+type Loader struct {
+	Root    string // module root directory
+	ModPath string // module path from go.mod
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package // by import path; nil while loading (cycle guard)
+}
+
+// NewLoader creates a loader for the module rooted at root, reading the
+// module path from go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w (loader needs a module root)", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    abs,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+	}, nil
+}
+
+// LoadAll discovers and loads every package in the module, sorted by
+// import path. Directories named testdata, hidden directories, and
+// directories with no non-test Go files are skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkgPath, ok := l.importPathFor(dir)
+		if !ok {
+			continue
+		}
+		if !hasGoFiles(dir) {
+			continue
+		}
+		pkg, err := l.load(pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// Load loads one package by import path (module-local) or directory.
+func (l *Loader) Load(pattern string) (*Package, error) {
+	if pattern == l.ModPath || strings.HasPrefix(pattern, l.ModPath+"/") {
+		return l.load(pattern)
+	}
+	abs, err := filepath.Abs(pattern)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath, ok := l.importPathFor(abs)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", pattern, l.ModPath)
+	}
+	return l.load(pkgPath)
+}
+
+func (l *Loader) importPathFor(dir string) (string, bool) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return l.ModPath, true
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), true
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// load parses and type-checks one module-local package, caching results.
+func (l *Loader) load(pkgPath string) (*Package, error) {
+	if pkg, done := l.pkgs[pkgPath]; done {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[pkgPath] = nil // cycle guard
+	rel := strings.TrimPrefix(pkgPath, l.ModPath)
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Fset: l.fset, Files: files, Info: info}
+	cfg := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(pkgPath, l.fset, files, info) // errors collected via cfg.Error
+	pkg.Types = tpkg
+	l.pkgs[pkgPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter routes module-local imports back through the loader and
+// everything else to the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return pkg.Types, fmt.Errorf("analysis: %s has type errors: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHold flags operations that can block indefinitely while a
+// sync.Mutex/RWMutex is held: channel sends/receives, select statements,
+// sync.Cond.Wait outside a `for` re-check loop, time.Sleep, and
+// file/network I/O. In the ug/comm mailbox and the coordinator's
+// solution pool, any of these inside a critical section turns a
+// microsecond lock into a convoy (or a deadlock when the peer needs the
+// same lock). Cond.Wait must sit in a `for !predicate` loop because
+// spurious and stolen wakeups are allowed by the memory model.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "blocking operation (channel op, Cond.Wait outside for, I/O) while a mutex is held",
+	Run:  runLockHold,
+}
+
+// blockingCalls maps package path → function names that may block.
+var blockingCalls = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"os": {"Open": true, "Create": true, "ReadFile": true, "WriteFile": true,
+		"Remove": true, "Rename": true, "OpenFile": true, "ReadDir": true},
+	"fmt": {"Print": true, "Println": true, "Printf": true,
+		"Scan": true, "Scanln": true, "Scanf": true},
+	"net":      {"Dial": true, "Listen": true, "DialTimeout": true},
+	"net/http": {"Get": true, "Post": true, "Head": true, "PostForm": true},
+}
+
+func runLockHold(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				scanLocked(p, body.List, map[string]bool{})
+			}
+			return true // keep walking: nested FuncLits scanned separately
+		})
+		checkCondWait(p, file)
+	}
+}
+
+// scanLocked walks a statement list tracking which mutexes are held.
+// held maps the printed receiver expression ("mb.mu") to true. The scan
+// is a conservative straight-line approximation: nested blocks inherit a
+// copy of the held set, and a defer of Unlock keeps the mutex held to
+// the end of the list (which is what actually happens at run time).
+func scanLocked(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := mutexOp(p, st.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases only at return: the mutex stays
+			// held for the remainder of this statement list.
+			continue
+		}
+		if len(held) > 0 {
+			checkWhileHeld(p, st)
+		}
+		for _, nested := range nestedBlocks(st) {
+			scanLocked(p, nested, copySet(held))
+		}
+	}
+}
+
+// mutexOp matches a call expr of the form recv.Lock/Unlock/RLock/RUnlock
+// where recv's type is (or embeds) sync.Mutex or sync.RWMutex.
+func mutexOp(p *Pass, e ast.Expr) (recv, op string, ok bool) {
+	call, ok2 := e.(*ast.CallExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	sel, ok2 := call.Fun.(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isSyncLockRecv(p, sel) {
+		return "", "", false
+	}
+	return exprString(sel.X), name, true
+}
+
+// isSyncLockRecv reports whether the method call resolves into package
+// sync (covers fields of type sync.Mutex/RWMutex and embedded mutexes).
+func isSyncLockRecv(p *Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := p.Info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Path() == "sync"
+		}
+		return false
+	}
+	// No selection info (e.g. package-incomplete typing): fall back to
+	// the receiver's static type name.
+	if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil {
+		s := tv.Type.String()
+		return s == "sync.Mutex" || s == "*sync.Mutex" || s == "sync.RWMutex" || s == "*sync.RWMutex"
+	}
+	return false
+}
+
+// checkWhileHeld reports blocking operations in the statement itself
+// (not descending into nested blocks — those re-enter scanLocked with
+// their own copy of the held set, and nested function literals have
+// their own lock discipline).
+func checkWhileHeld(p *Pass, st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.SendStmt:
+		p.Reportf(st.Arrow, "channel send while mutex is held can block the critical section")
+		return
+	case *ast.SelectStmt:
+		p.Reportf(st.Select, "select while mutex is held can block the critical section")
+		return
+	}
+	shallow := shallowExprs(st)
+	for _, e := range shallow {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // separate scope
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.Reportf(n.OpPos, "channel receive while mutex is held can block the critical section")
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+							path := pn.Imported().Path()
+							if fns := blockingCalls[path]; fns != nil && fns[sel.Sel.Name] {
+								p.Reportf(n.Pos(), "%s.%s while mutex is held can block the critical section", path, sel.Sel.Name)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCondWait reports sync.Cond.Wait calls with no enclosing for/range
+// loop inside the same function: Wait must be re-checked in a loop.
+func checkCondWait(p *Pass, file *ast.File) {
+	// Track the ancestor chain manually.
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isCondRecv(p, sel) {
+				if !hasLoopAncestor(stack) {
+					p.Reportf(call.Pos(), "sync.Cond.Wait outside a for loop: spurious wakeups require re-checking the predicate in a loop")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}
+
+func isCondRecv(p *Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := p.Info.Selections[sel]; ok {
+		// Receiver must be sync.Cond specifically: sync.WaitGroup.Wait
+		// has no re-check contract.
+		recv := s.Recv().String()
+		return strings.HasSuffix(recv, "sync.Cond")
+	}
+	if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil {
+		s := tv.Type.String()
+		return s == "sync.Cond" || s == "*sync.Cond"
+	}
+	return false
+}
+
+// hasLoopAncestor reports whether the ancestor chain contains a for or
+// range statement below the nearest enclosing function.
+func hasLoopAncestor(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// nestedBlocks returns the statement lists nested inside st.
+func nestedBlocks(st ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, st.List)
+	case *ast.IfStmt:
+		out = append(out, st.Body.List)
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				out = append(out, e.List)
+			case *ast.IfStmt:
+				out = append(out, nestedBlocks(e)...)
+			}
+		}
+	case *ast.ForStmt:
+		out = append(out, st.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, st.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedBlocks(st.Stmt)...)
+	}
+	return out
+}
+
+// shallowExprs returns the expressions evaluated directly by st (not
+// inside nested blocks).
+func shallowExprs(st ast.Stmt) []ast.Expr {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{st.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, st.Lhs...), st.Rhs...)
+	case *ast.ReturnStmt:
+		return st.Results
+	case *ast.IfStmt:
+		if st.Cond != nil {
+			return []ast.Expr{st.Cond}
+		}
+	case *ast.ForStmt:
+		if st.Cond != nil {
+			return []ast.Expr{st.Cond}
+		}
+	case *ast.RangeStmt:
+		return []ast.Expr{st.X}
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			return []ast.Expr{st.Tag}
+		}
+	case *ast.GoStmt:
+		return nil // new goroutine: not holding our locks
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+	case *ast.IncDecStmt:
+		return []ast.Expr{st.X}
+	}
+	return nil
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

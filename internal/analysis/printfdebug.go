@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PrintfDebug flags stray console output in library packages: calls to
+// fmt.Print/Println/Printf, the print/println builtins, and fmt.Fprint*
+// aimed at os.Stdout/os.Stderr. Solver output must route through the
+// statistics/result path (ug.RunStats, experiments tables) — a worker
+// printing from inside the search loop interleaves garbage across
+// ParaSolvers and skews timing measurements. Writer-parameterized
+// output (fmt.Fprintf(w, ...)) is fine.
+var PrintfDebug = &Analyzer{
+	Name:    "printfdebug",
+	Doc:     "direct console output in library packages; route through the statistics path",
+	Applies: isInternal,
+	Run:     runPrintfDebug,
+}
+
+var printFuncs = map[string]bool{"Print": true, "Println": true, "Printf": true}
+var fprintFuncs = map[string]bool{"Fprint": true, "Fprintln": true, "Fprintf": true}
+
+func runPrintfDebug(p *Pass) {
+	inspect(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "print" || fun.Name == "println" {
+				if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); isBuiltin {
+					p.Reportf(call.Pos(), "builtin %s writes to stderr; route output through the statistics path", fun.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			if isPkgIdent(p, fun.X, "fmt") {
+				name := fun.Sel.Name
+				if printFuncs[name] {
+					p.Reportf(call.Pos(), "fmt.%s writes to stdout from a library package; route output through the statistics path", name)
+				}
+				if fprintFuncs[name] && len(call.Args) > 0 && isStdStream(p, call.Args[0]) {
+					p.Reportf(call.Pos(), "fmt.%s to %s from a library package; accept an io.Writer instead", name, exprString(call.Args[0]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isPkgIdent(p *Pass, e ast.Expr, pkgPath string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+func isStdStream(p *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isPkgIdent(p, sel.X, "os") && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}

@@ -1,0 +1,40 @@
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func handled() error {
+	if err := failing(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard() {
+	_ = failing() // audited discard: allowed
+}
+
+func deferredClose(c closer) {
+	defer c.Close() // conventional; the primary error path is elsewhere
+}
+
+func noError() int { return 3 }
+
+func plainCall() {
+	noError()
+}
+
+func bufferWrites(buf *bytes.Buffer, sb *strings.Builder) {
+	buf.WriteString("x")  // documented to never fail
+	sb.WriteString("y")   // documented to never fail
+	buf.WriteByte('z')    //
+	fmt.Fprintf(buf, "w") // writer-parameterized: error is the writer's
+}
+
+func writerOutput(w io.Writer) {
+	fmt.Fprintln(w, "table row")
+}

@@ -1,0 +1,38 @@
+// Package errdrop holds positive (pos.go) and negative (neg.go)
+// fixtures for the errdrop analyzer.
+package errdrop
+
+import (
+	"os"
+	"strconv"
+)
+
+func failing() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func dropPlain() {
+	failing() // WANT errdrop
+}
+
+func dropTuple() {
+	pair() // WANT errdrop
+}
+
+func dropStdlib(path string) {
+	os.Remove(path) // WANT errdrop
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func dropMethod(c closer) {
+	c.Close() // WANT errdrop
+}
+
+func dropInLoop(xs []string) {
+	for range xs {
+		strconv.Atoi("1") // WANT errdrop
+	}
+}

@@ -1,0 +1,39 @@
+package scip
+
+// Fine is documented.
+func Fine() {}
+
+// Plugin documents the interface; each method documents its contract.
+type Plugin interface {
+	// Name identifies the plugin.
+	Name() string
+	// Init is called once per solver instance.
+	Init() error
+}
+
+// Grouped constants share the block doc.
+const (
+	ModeA = iota
+	ModeB
+)
+
+// internalHelper is unexported: no doc required (but it has one).
+func internalHelper() {}
+
+func alsoUnexported() {}
+
+type hidden struct{}
+
+// Exported method on an unexported type is package-private.
+func (hidden) Len() int { return 0 }
+
+func (hidden) Cap() int { return 0 }
+
+// Value has a doc comment.
+var Value = 1
+
+// Pair documents the whole var block.
+var (
+	First  = 1
+	Second = 2
+)

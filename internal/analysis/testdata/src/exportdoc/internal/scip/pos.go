@@ -1,0 +1,24 @@
+// Package scip is an exportdoc fixture shaped like a plugin-facing
+// package (positive cases in pos.go, negative in neg.go). This file
+// deliberately carries no inline markers: a trailing comment would
+// itself document the declaration. The expected findings are asserted
+// by name in analysis_test.go.
+package scip
+
+func Undocumented() {}
+
+type Hook interface {
+	Fire() error
+}
+
+// Documented has one documented and one undocumented method.
+type Documented struct{ n int }
+
+// Run is documented, but Stop below is not.
+func (d *Documented) Run() {}
+
+func (d *Documented) Stop() {}
+
+var Tunable = 3
+
+const Limit = 10

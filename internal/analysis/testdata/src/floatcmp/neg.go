@@ -1,0 +1,40 @@
+package floatcmp
+
+import "math"
+
+var inf = math.Inf(1)
+
+// Infinity is an exported sentinel, mirroring scip.Infinity.
+const Infinity = 1e100
+
+func intCompare(a, b int) bool {
+	return a == b // ints compare exactly
+}
+
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9 // the blessed pattern
+}
+
+func infSentinelCall(x float64) bool {
+	return x == math.Inf(1) // infinity is assigned, never computed
+}
+
+func infSentinelNeg(x float64) bool {
+	return x != -math.Inf(1)
+}
+
+func infSentinelVar(x float64) bool {
+	return x == inf
+}
+
+func infSentinelConst(x float64) bool {
+	return x != Infinity
+}
+
+func stringCompare(a, b string) bool {
+	return a == b
+}
+
+func orderedCompare(a, b float64) bool {
+	return a < b // only ==/!= are exact-equality hazards
+}

@@ -1,0 +1,29 @@
+// Package floatcmp holds positive (pos.go) and negative (neg.go)
+// fixtures for the floatcmp analyzer.
+package floatcmp
+
+func rawEqual(a, b float64) bool {
+	return a == b // WANT floatcmp
+}
+
+func rawNotEqual(a float32, b float32) bool {
+	return a != b // WANT floatcmp
+}
+
+func mixedOperands(a float64, b int) bool {
+	return a == float64(b) // WANT floatcmp
+}
+
+func zeroCompare(x float64) bool {
+	return x == 0 // WANT floatcmp
+}
+
+func switchOnFloat(x float64) int {
+	switch x { // WANT floatcmp
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return -1
+}

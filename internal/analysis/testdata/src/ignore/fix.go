@@ -1,0 +1,36 @@
+// Package ignore exercises the //lint:ignore suppression mechanism:
+// a correctly annotated violation is suppressed, a directive on the
+// line above also suppresses, and malformed or unknown directives are
+// reported under the "lint" pseudo-analyzer. Expected findings are
+// asserted explicitly in analysis_test.go.
+package ignore
+
+func sameLine(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture: audited exact check
+}
+
+func lineAbove(a, b float64) bool {
+	//lint:ignore floatcmp fixture: audited exact check
+	return a != b
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//lint:ignore errdrop fixture: names the wrong analyzer on purpose
+	return a == b // stays reported: the directive covers errdrop only
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b // reported: no directive
+}
+
+func multiName(a, b float64) bool {
+	return a == b //lint:ignore floatcmp,errdrop fixture: list form
+}
+
+func missingReason(a, b float64) bool {
+	return a == b //lint:ignore floatcmp
+}
+
+func unknownName(a, b float64) bool {
+	return a == b //lint:ignore nosuchanalyzer fixture reason
+}

@@ -1,0 +1,63 @@
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+func sendAfterUnlock(b *box, ch chan int) {
+	b.mu.Lock()
+	b.queue = append(b.queue, 1)
+	b.mu.Unlock()
+	ch <- 1 // lock released first: fine
+}
+
+func pureCritical(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.queue)
+	return n
+}
+
+func waitInForLoop(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 {
+		b.cond.Wait() // the canonical pattern
+	}
+	v := b.queue[0]
+	b.queue = b.queue[1:]
+	return v
+}
+
+func sleepUnlocked() {
+	time.Sleep(time.Millisecond)
+}
+
+// funcLitOwnDiscipline: the goroutine body takes its own lock; the
+// outer function holds nothing when it launches it.
+func funcLitOwnDiscipline(b *box, ch chan int) {
+	go func() {
+		b.mu.Lock()
+		b.queue = append(b.queue, 1)
+		b.mu.Unlock()
+		ch <- 1
+	}()
+}
+
+// waitGroupWait is not Cond.Wait: no re-check loop required.
+func waitGroupWait(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// notAMutex: Lock/Unlock methods on a non-sync type are out of scope.
+type fakeLock struct{ n int }
+
+func (f *fakeLock) Lock()   { f.n++ }
+func (f *fakeLock) Unlock() { f.n-- }
+
+func fakeLockSend(f *fakeLock, ch chan int) {
+	f.Lock()
+	ch <- 1
+	f.Unlock()
+}

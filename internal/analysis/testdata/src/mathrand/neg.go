@@ -1,0 +1,20 @@
+package mathrand
+
+import "math/rand"
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors build local state
+	return rng.Intn(10)
+}
+
+func threaded(rng *rand.Rand) float64 {
+	return rng.Float64() // instance draw: reproducible per caller
+}
+
+type carrier struct {
+	rng *rand.Rand
+}
+
+func (c *carrier) draw() float64 {
+	return c.rng.Float64()
+}

@@ -1,0 +1,21 @@
+// Package mathrand holds positive (pos.go) and negative (neg.go)
+// fixtures for the mathrand analyzer.
+package mathrand
+
+import "math/rand"
+
+func globalInt() int {
+	return rand.Intn(10) // WANT mathrand
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // WANT mathrand
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // WANT mathrand
+}
+
+func globalSeed() {
+	rand.Seed(42) // WANT mathrand
+}

@@ -1,0 +1,18 @@
+package printfdebug
+
+import (
+	"fmt"
+	"io"
+)
+
+func toWriter(w io.Writer) {
+	fmt.Fprintf(w, "row\n") // writer-parameterized output is the fix
+}
+
+func formatting(x float64) string {
+	return fmt.Sprintf("x=%g", x) // Sprintf produces a value, prints nothing
+}
+
+func errorValue() error {
+	return fmt.Errorf("boom")
+}

@@ -1,0 +1,36 @@
+// Package printfdebug holds positive (pos.go) and negative (neg.go)
+// fixtures for the printfdebug analyzer.
+package printfdebug
+
+import (
+	"fmt"
+	"os"
+)
+
+func stdoutPrint() {
+	fmt.Println("node bound improved") // WANT printfdebug
+}
+
+func stdoutPrintf(x float64) {
+	fmt.Printf("x=%g\n", x) // WANT printfdebug
+}
+
+func stdoutPrintPlain() {
+	fmt.Print("...") // WANT printfdebug
+}
+
+func builtinPrint(x int) {
+	println(x) // WANT printfdebug
+}
+
+func builtinPrintNoLn(x int) {
+	print(x) // WANT printfdebug
+}
+
+func fprintStdout() {
+	fmt.Fprintf(os.Stdout, "table\n") // WANT printfdebug
+}
+
+func fprintStderr() {
+	fmt.Fprintln(os.Stderr, "debug") // WANT printfdebug
+}

@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"repro/internal/num"
 )
 
 // ErrNotPositiveDefinite is returned by Cholesky when the matrix has a
@@ -22,7 +24,7 @@ func Cholesky(s *Sym) (*Chol, error) {
 	n := s.N
 	l := make([]float64, n*n)
 	scale := s.MaxAbs()
-	if scale == 0 {
+	if num.ExactZero(scale) { // all-zero matrix: no positive pivot exists
 		return nil, ErrNotPositiveDefinite
 	}
 	tol := 1e-13 * scale

@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"repro/internal/num"
 )
 
 // ErrSingular is returned when a linear system has a (numerically)
@@ -47,7 +49,7 @@ func FactorLU(n int, m []float64) (*LU, error) {
 		for r := col + 1; r < n; r++ {
 			f := lu[r*n+col] / piv
 			lu[r*n+col] = f
-			if f == 0 {
+			if num.ExactZero(f) { // exact-zero multiplier: row untouched
 				continue
 			}
 			for k := col + 1; k < n; k++ {

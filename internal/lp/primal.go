@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/num"
+)
 
 // enterDir returns the admissible movement direction(s) for a nonbasic
 // column under phase-2 pricing: +1 to increase from a lower bound, −1 to
@@ -79,7 +83,7 @@ func (s *Solver) primalRatioTest(enter int, dir float64, w []float64) (t float64
 
 // applyStep moves the entering variable by t·dir and updates basic values.
 func (s *Solver) applyStep(enter int, dir, t float64, w []float64) {
-	if t == 0 {
+	if num.ExactZero(t) { // degenerate step: dictionary values unchanged
 		return
 	}
 	for i := 0; i < s.m; i++ {

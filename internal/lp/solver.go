@@ -2,6 +2,8 @@ package lp
 
 import (
 	"math"
+
+	"repro/internal/num"
 )
 
 // Variable states in the simplex dictionary.
@@ -78,7 +80,7 @@ func (s *Solver) updatePricing(enter, leave int, alpha []float64) {
 		return
 	}
 	theta := s.d[enter] / alpha[enter]
-	if theta != 0 {
+	if num.Nonzero(theta) {
 		for j := range s.d {
 			s.d[j] -= theta * alpha[j]
 		}
@@ -144,7 +146,7 @@ func (s *Solver) AddRow(sense Sense, rhs float64, coefs []Nonzero) int {
 		touched[nz.Col] += nz.Val
 	}
 	for j, v := range touched {
-		if v != 0 {
+		if num.Nonzero(v) {
 			s.cols[j] = append(s.cols[j], colEntry{row: row, val: v})
 		}
 	}
@@ -171,7 +173,7 @@ func (s *Solver) AddRow(sense Sense, rhs float64, coefs []Nonzero) int {
 		// B⁻¹_new bottom row = e_new - Σ_k a_k · (B⁻¹ rows).
 		for i := 0; i < s.m-1; i++ {
 			aj := s.entryAt(s.basis[i], s.m-1)
-			if aj == 0 {
+			if num.ExactZero(aj) {
 				continue
 			}
 			for k := 0; k < s.m-1; k++ {
@@ -311,7 +313,7 @@ func (s *Solver) btran(v []float64) []float64 {
 	for k := 0; k < s.m; k++ {
 		var acc float64
 		for i := 0; i < s.m; i++ {
-			if v[i] != 0 {
+			if num.Nonzero(v[i]) {
 				acc += v[i] * s.binv[i][k]
 			}
 		}
@@ -348,7 +350,7 @@ func (s *Solver) computeXB() {
 			continue
 		}
 		v := s.nonbasicValue(j)
-		if v == 0 {
+		if num.ExactZero(v) {
 			continue
 		}
 		if j < s.n {
@@ -363,7 +365,7 @@ func (s *Solver) computeXB() {
 		var acc float64
 		bi := s.binv[i]
 		for k, r := range rhs {
-			if r != 0 {
+			if num.Nonzero(r) {
 				acc += bi[k] * r
 			}
 		}
@@ -444,7 +446,7 @@ func (s *Solver) refactorize() bool {
 				continue
 			}
 			f := a[r][col]
-			if f == 0 {
+			if num.ExactZero(f) {
 				continue
 			}
 			for k := col; k < 2*m; k++ {
@@ -478,7 +480,7 @@ func (s *Solver) pivot(r, enter int, w []float64, leaveState int8) {
 			continue
 		}
 		f := w[i]
-		if f == 0 {
+		if num.ExactZero(f) {
 			continue
 		}
 		bi := s.binv[i]

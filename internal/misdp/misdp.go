@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/lp"
+	"repro/internal/num"
 	"repro/internal/scip"
 	"repro/internal/sdp"
 )
@@ -167,7 +168,7 @@ func (d *Def) BuildModel(data any) *scip.Prob {
 		} else {
 			integral = false
 		}
-		if p.B[i] != math.Trunc(p.B[i]) {
+		if !num.Integral(p.B[i], 0) { // exact data integrality: only then may bounds be rounded
 			integral = false
 		}
 		prob.AddVar(fmt.Sprintf("y_%d", i), p.Lo[i], p.Up[i], -p.B[i], vt)
@@ -175,7 +176,7 @@ func (d *Def) BuildModel(data any) *scip.Prob {
 	for r, row := range p.Rows {
 		var coefs []lp.Nonzero
 		for i, a := range row.Coef {
-			if a != 0 {
+			if num.Nonzero(a) {
 				coefs = append(coefs, lp.Nonzero{Col: i, Val: a})
 			}
 		}

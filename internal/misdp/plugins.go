@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/lp"
+	"repro/internal/num"
 	"repro/internal/scip"
 	"repro/internal/sdp"
 )
@@ -321,7 +322,7 @@ func (*Propagator) Propagate(ctx *scip.Ctx) scip.Result {
 		minAct := 0.0
 		infCount := 0
 		for i, a := range row.Coef {
-			if a == 0 {
+			if num.ExactZero(a) {
 				continue
 			}
 			var contrib float64
@@ -337,7 +338,7 @@ func (*Propagator) Propagate(ctx *scip.Ctx) scip.Result {
 			minAct += contrib
 		}
 		for i, a := range row.Coef {
-			if a == 0 {
+			if num.ExactZero(a) {
 				continue
 			}
 			// Residual minimum activity excluding i.

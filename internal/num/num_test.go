@@ -1,0 +1,78 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToleranceComparisons(t *testing.T) {
+	eps := FeasTol / 2
+	if !Eq(1.0, 1.0+eps, FeasTol) {
+		t.Error("Eq should accept a sub-tolerance difference")
+	}
+	if Eq(1.0, 1.0+3*FeasTol, FeasTol) {
+		t.Error("Eq should reject a super-tolerance difference")
+	}
+	if !Lt(1.0, 1.0+3*FeasTol, FeasTol) || Lt(1.0, 1.0+eps, FeasTol) {
+		t.Error("Lt must require a margin beyond the tolerance")
+	}
+	if !Gt(1.0+3*FeasTol, 1.0, FeasTol) || Gt(1.0+eps, 1.0, FeasTol) {
+		t.Error("Gt must require a margin beyond the tolerance")
+	}
+	if !Leq(1.0+eps, 1.0, FeasTol) || Leq(1.0+3*FeasTol, 1.0, FeasTol) {
+		t.Error("Leq must absorb sub-tolerance overshoot only")
+	}
+	if !Geq(1.0-eps, 1.0, FeasTol) || Geq(1.0-3*FeasTol, 1.0, FeasTol) {
+		t.Error("Geq must absorb sub-tolerance undershoot only")
+	}
+	if !IsZero(eps, FeasTol) || IsZero(3*FeasTol, FeasTol) {
+		t.Error("IsZero tolerance boundary wrong")
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	for _, v := range []float64{0, 1, -7, 1e6} {
+		if !Integral(v, FeasTol) {
+			t.Errorf("Integral(%v) should hold", v)
+		}
+	}
+	if Integral(0.5, FeasTol) || Integral(1+10*FeasTol, FeasTol) {
+		t.Error("Integral accepted a fractional value")
+	}
+	if !Integral(1+FeasTol/2, FeasTol) {
+		t.Error("Integral should absorb sub-tolerance noise")
+	}
+	// tol=0 demands bit-exact integrality — what the data-integrality
+	// gates in steiner and misdp rely on before rounding dual bounds.
+	if !Integral(2, 0) || Integral(2+1e-13, 0) {
+		t.Error("Integral with tol=0 must be bit-exact")
+	}
+}
+
+func TestRelEq(t *testing.T) {
+	if !RelEq(1e9, 1e9*(1+1e-10), OptTol) {
+		t.Error("RelEq should scale tolerance with magnitude")
+	}
+	if RelEq(1e9, 1e9+1, OptTol/1e3) {
+		t.Error("RelEq accepted a relative difference above tolerance")
+	}
+	if !RelEq(0, OptTol/2, OptTol) {
+		t.Error("RelEq near zero should behave absolutely")
+	}
+}
+
+func TestExactHelpers(t *testing.T) {
+	if !ExactZero(0.0) || ExactZero(math.SmallestNonzeroFloat64) {
+		t.Error("ExactZero must be bit-exact")
+	}
+	if !Nonzero(math.SmallestNonzeroFloat64) || Nonzero(0.0) {
+		t.Error("Nonzero must be bit-exact")
+	}
+	if !ExactEq(1.5, 1.5) || ExactEq(1.5, 1.5+ZeroTol) {
+		t.Error("ExactEq must be bit-exact")
+	}
+	// Negative zero is numerically zero.
+	if !ExactZero(math.Copysign(0, -1)) {
+		t.Error("ExactZero(-0) should hold")
+	}
+}

@@ -3,6 +3,8 @@ package scip
 import (
 	"bytes"
 	"encoding/gob"
+
+	"repro/internal/num"
 )
 
 // This file implements the solver-independent subproblem/solution
@@ -14,7 +16,9 @@ func (s *Solver) encodeNode(n *Node) *Subprob {
 	lo, up := s.effectiveBounds(n)
 	sub := &Subprob{Bound: n.Bound, Depth: n.Depth}
 	for j := range s.Prob.Vars {
-		if lo[j] != s.Prob.Vars[j].Lo || up[j] != s.Prob.Vars[j].Up {
+		// Branching assigns bounds, never computes them, so exact
+		// inequality is the correct changed-bound test.
+		if !num.ExactEq(lo[j], s.Prob.Vars[j].Lo) || !num.ExactEq(up[j], s.Prob.Vars[j].Up) {
 			sub.Bounds = append(sub.Bounds, BoundChg{Var: j, Lo: lo[j], Up: up[j]})
 		}
 	}

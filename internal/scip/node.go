@@ -1,6 +1,10 @@
 package scip
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"repro/internal/num"
+)
 
 // Node is one branch-and-bound node. Bound changes and decisions are
 // stored as deltas against the parent; the full subproblem is recovered
@@ -40,7 +44,9 @@ type nodeHeap []*Node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
-	if h[i].Bound != h[j].Bound {
+	// Exact tie-break: a tolerance here would break comparator
+	// transitivity and corrupt the heap.
+	if !num.ExactEq(h[i].Bound, h[j].Bound) {
 		return h[i].Bound < h[j].Bound
 	}
 	return h[i].ID < h[j].ID

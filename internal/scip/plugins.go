@@ -39,27 +39,37 @@ type ProblemDef interface {
 // Propagator tightens local variable bounds at a node using node-local
 // data (e.g. reduced-cost fixing, graph reductions deep in the tree).
 type Propagator interface {
+	// Name identifies the propagator in statistics and messages.
 	Name() string
+	// Propagate tightens bounds via ctx.TightenLo/TightenUp and reports
+	// Reduced, Cutoff (node infeasible) or DidNothing.
 	Propagate(ctx *Ctx) Result
 }
 
 // Separator finds violated valid inequalities for the current relaxation
 // solution and adds them via ctx.AddCut / ctx.AddLocalCut.
 type Separator interface {
+	// Name identifies the separator in statistics and messages.
 	Name() string
+	// Separate inspects ctx.LPSol and reports Separated when it added at
+	// least one violated cut, DidNothing otherwise.
 	Separate(ctx *Ctx) Result
 }
 
 // Heuristic searches for primal solutions; it submits them via
 // ctx.SubmitSol.
 type Heuristic interface {
+	// Name identifies the heuristic in statistics and messages.
 	Name() string
+	// Search reports FoundSol when it submitted at least one solution,
+	// DidNothing otherwise.
 	Search(ctx *Ctx) Result
 }
 
 // Conshdlr is a constraint handler for a constraint class that is not
 // captured by the initial linear rows (Steiner connectivity, SDP cones).
 type Conshdlr interface {
+	// Name identifies the handler in statistics and messages.
 	Name() string
 	// Check reports whether a candidate (integral) solution satisfies the
 	// handler's constraints.
@@ -74,13 +84,17 @@ type Conshdlr interface {
 // specifications or reports DidNotRun to fall through to the built-in
 // most-fractional rule.
 type Brancher interface {
+	// Name identifies the brancher in statistics and messages.
 	Name() string
+	// Branch returns the child subproblems and Branched, or DidNotRun to
+	// fall through to the built-in rule.
 	Branch(ctx *Ctx) ([]Child, Result)
 }
 
 // Relaxator computes an extra relaxation bound at a node (the SDP
 // relaxation in SCIP-SDP's nonlinear branch-and-bound mode).
 type Relaxator interface {
+	// Name identifies the relaxator in statistics and messages.
 	Name() string
 	// Relax returns a valid lower bound for the node, an optional
 	// relaxation solution (candidate for integrality checking), and a

@@ -94,6 +94,7 @@ type Decision struct {
 	Val  float64
 }
 
+// String renders the decision for traces and debugging.
 func (d Decision) String() string {
 	return fmt.Sprintf("%s(v=%d,flag=%v,val=%g)", d.Kind, d.V, d.Flag, d.Val)
 }

@@ -22,6 +22,7 @@ const (
 	EmphFeasibility
 )
 
+// String names the emphasis as used in racing-settings labels.
 func (e Emphasis) String() string {
 	switch e {
 	case EmphEasyCIP:

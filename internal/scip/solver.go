@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/num"
 )
 
 // Status is the final state of a Solve call.
@@ -25,6 +26,7 @@ const (
 	StatusGapLimit
 )
 
+// String renders the status for result tables and messages.
 func (s Status) String() string {
 	switch s {
 	case StatusOptimal:
@@ -745,12 +747,12 @@ func (s *Solver) branchBuiltin(ctx *Ctx, n *Node, cand []float64) bool {
 func (s *Solver) pseudo(j int, up bool) float64 {
 	prior := math.Abs(s.Prob.Vars[j].Obj) + 1e-3
 	if up {
-		if s.pcUpN[j] == 0 {
+		if num.ExactZero(s.pcUpN[j]) { // no observations yet
 			return prior
 		}
 		return s.pcUp[j] / s.pcUpN[j]
 	}
-	if s.pcDownN[j] == 0 {
+	if num.ExactZero(s.pcDownN[j]) { // no observations yet
 		return prior
 	}
 	return s.pcDown[j] / s.pcDownN[j]

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/num"
 )
 
 // Block is one linear matrix inequality C − Σ A_i y_i ⪰ 0.
@@ -32,7 +33,7 @@ type Block struct {
 func (b *Block) Z(y []float64) *linalg.Sym {
 	z := b.C.Clone()
 	for i, a := range b.A {
-		if a != nil && y[i] != 0 {
+		if a != nil && num.Nonzero(y[i]) {
 			z.AddScaled(-y[i], a)
 		}
 	}
@@ -137,7 +138,7 @@ func Solve(p *Problem, opt Options) *Result {
 	for _, blk := range p.Blocks {
 		c := blk.C.Clone()
 		for i := 0; i < p.M; i++ {
-			if fixed[i] && blk.A[i] != nil && fixVal[i] != 0 {
+			if fixed[i] && blk.A[i] != nil && num.Nonzero(fixVal[i]) {
 				c.AddScaled(-fixVal[i], blk.A[i])
 			}
 		}
@@ -162,7 +163,7 @@ func Solve(p *Problem, opt Options) *Result {
 		// infeasibility certificate.
 		allZero := true
 		for _, v := range coef {
-			if v != 0 {
+			if num.Nonzero(v) {
 				allZero = false
 			}
 		}
@@ -455,7 +456,7 @@ func strictlyFeasible(p *Problem, y []float64, useS bool) bool {
 func dotDense(a, y []float64) float64 {
 	var acc float64
 	for i, v := range a {
-		if v != 0 {
+		if num.Nonzero(v) {
 			acc += v * y[i]
 		}
 	}
@@ -512,13 +513,13 @@ func gradHess(p *Problem, y []float64, mu, gamma float64, useS bool) (grad []flo
 		}
 		for i := 0; i < ext; i++ {
 			ai := coefExt(i)
-			if ai == 0 {
+			if num.ExactZero(ai) {
 				continue
 			}
 			grad[i] -= mu * ai / slack
 			for j := 0; j < ext; j++ {
 				aj := coefExt(j)
-				if aj != 0 {
+				if num.Nonzero(aj) {
 					negHess.A[i*ext+j] += mu * ai * aj / (slack * slack)
 				}
 			}
@@ -590,7 +591,7 @@ func symProduct(x, y *linalg.Sym) *linalg.Sym {
 	for i := 0; i < n; i++ {
 		for k := 0; k < n; k++ {
 			xik := x.A[i*n+k]
-			if xik == 0 {
+			if num.ExactZero(xik) {
 				continue
 			}
 			row := y.A[k*n:]

@@ -2,9 +2,9 @@ package steiner
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/lp"
+	"repro/internal/num"
 	"repro/internal/scip"
 )
 
@@ -211,7 +211,7 @@ func integralCosts(s *SPG) bool {
 		if !s.G.EdgeAlive(e) {
 			continue
 		}
-		if c := s.G.Cost(e); c != math.Trunc(c) {
+		if c := s.G.Cost(e); !num.Integral(c, 0) { // exact data integrality gates bound rounding
 			return false
 		}
 	}

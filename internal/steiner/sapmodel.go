@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/maxflow"
+	"repro/internal/num"
 	"repro/internal/scip"
 )
 
@@ -46,7 +47,7 @@ func (d *SAPDef) BuildModel(data any) *scip.Prob {
 	inst := newSAPInstance(s)
 	integral := true
 	for _, a := range s.Arcs {
-		if a.Cost != math.Trunc(a.Cost) {
+		if !num.Integral(a.Cost, 0) { // exact data integrality gates bound rounding
 			integral = false
 		}
 	}
@@ -288,7 +289,9 @@ func (h *SAPHeuristic) Search(ctx *scip.Ctx) scip.Result {
 			}
 			for _, a := range inst.outArcs[it.v] {
 				arc := s.Arcs[a]
-				if arc.Anchor && anchorUsed && x[a] == 0 {
+				// x is this heuristic's own 0/1 arc indicator (assigned,
+				// never computed), so the exact test is sound.
+				if arc.Anchor && anchorUsed && num.ExactZero(x[a]) {
 					continue
 				}
 				if nd := it.d + cost[a]; nd < dist[arc.Head]-1e-15 {

@@ -19,8 +19,12 @@ type Checkpoint struct {
 	DualBound float64
 }
 
-// saveCheckpoint writes the current primitive nodes atomically.
-func (co *coordinator) saveCheckpoint() {
+// saveCheckpoint writes the current primitive nodes atomically
+// (write-to-temp then rename). Checkpointing is best-effort — a failed
+// save must not abort the run — but failures are returned so the
+// coordinator can count them in RunStats instead of silently restarting
+// from a stale file.
+func (co *coordinator) saveCheckpoint() error {
 	ck := Checkpoint{DualBound: co.dualBound()}
 	for _, sub := range co.pool {
 		ck.Pool = append(ck.Pool, *sub)
@@ -32,16 +36,24 @@ func (co *coordinator) saveCheckpoint() {
 	tmp := co.cfg.CheckpointPath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return // checkpointing is best-effort
+		return fmt.Errorf("checkpoint: create: %w", err)
 	}
-	enc := gob.NewEncoder(f)
-	if err := enc.Encode(&ck); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		_ = f.Close()      // encode error is primary
+		_ = os.Remove(tmp) // best-effort cleanup of the partial temp file
+		return fmt.Errorf("checkpoint: encode: %w", err)
 	}
-	f.Close()
-	os.Rename(tmp, co.cfg.CheckpointPath)
+	// Close before rename: a truncated checkpoint must never replace a
+	// complete one.
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp, co.cfg.CheckpointPath); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
 }
 
 // loadCheckpoint restores a checkpoint file.

@@ -38,6 +38,7 @@ const (
 	TagTermination
 )
 
+// String names the protocol tag for traces and debugging.
 func (t Tag) String() string {
 	names := [...]string{"subproblem", "racing", "solution", "status", "node",
 		"terminated", "startCollect", "stopCollect", "extractAll", "stop", "termination"}
@@ -68,7 +69,9 @@ type Comm interface {
 	TryRecv(rank int) (Message, bool)
 }
 
-// mailbox is an unbounded FIFO with blocking receive.
+// mailbox is an unbounded FIFO with blocking receive. After close,
+// sends are dropped and receivers drain the remaining queue before
+// get reports ok=false.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -84,20 +87,32 @@ func newMailbox() *mailbox {
 
 func (mb *mailbox) put(m Message) {
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
-	mb.cond.Signal()
+	if !mb.closed {
+		mb.queue = append(mb.queue, m)
+		mb.cond.Signal()
+	}
 	mb.mu.Unlock()
 }
 
-func (mb *mailbox) get() Message {
+func (mb *mailbox) get() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queue) == 0 {
+	for len(mb.queue) == 0 && !mb.closed {
 		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return Message{}, false
 	}
 	m := mb.queue[0]
 	mb.queue = mb.queue[1:]
-	return m
+	return m, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
 }
 
 func (mb *mailbox) tryGet() (Message, bool) {
@@ -133,11 +148,28 @@ func (c *ChannelComm) Size() int { return len(c.boxes) }
 // Send implements Comm.
 func (c *ChannelComm) Send(to int, m Message) { c.boxes[to].put(m) }
 
-// Recv implements Comm.
-func (c *ChannelComm) Recv(rank int) Message { return c.boxes[rank].get() }
+// Recv implements Comm. After Close, once the queue is drained Recv
+// returns a synthesized termination message (From = -1,
+// Tag = TagTermination) so blocked receivers unwind.
+func (c *ChannelComm) Recv(rank int) Message {
+	m, ok := c.boxes[rank].get()
+	if !ok {
+		return Message{From: -1, Tag: TagTermination}
+	}
+	return m
+}
 
 // TryRecv implements Comm.
 func (c *ChannelComm) TryRecv(rank int) (Message, bool) { return c.boxes[rank].tryGet() }
+
+// Close shuts every mailbox: later sends are dropped and receivers
+// blocked in Recv wake with a synthesized termination message once
+// their queue drains.
+func (c *ChannelComm) Close() {
+	for _, mb := range c.boxes {
+		mb.close()
+	}
+}
 
 // GobComm is the simulated distributed-memory communicator: every
 // message is serialized with encoding/gob into a byte buffer on Send and
@@ -178,8 +210,16 @@ func decodeFrame(frame Message) Message {
 	return m
 }
 
-// Recv implements Comm.
-func (c *GobComm) Recv(rank int) Message { return decodeFrame(c.boxes[rank].get()) }
+// Recv implements Comm. After Close, once the queue is drained Recv
+// returns a synthesized termination message (From = -1,
+// Tag = TagTermination) so blocked receivers unwind.
+func (c *GobComm) Recv(rank int) Message {
+	frame, ok := c.boxes[rank].get()
+	if !ok {
+		return Message{From: -1, Tag: TagTermination}
+	}
+	return decodeFrame(frame)
+}
 
 // TryRecv implements Comm.
 func (c *GobComm) TryRecv(rank int) (Message, bool) {
@@ -188,4 +228,13 @@ func (c *GobComm) TryRecv(rank int) (Message, bool) {
 		return Message{}, false
 	}
 	return decodeFrame(frame), true
+}
+
+// Close shuts every mailbox: later sends are dropped and receivers
+// blocked in Recv wake with a synthesized termination message once
+// their queue drains.
+func (c *GobComm) Close() {
+	for _, mb := range c.boxes {
+		mb.close()
+	}
 }

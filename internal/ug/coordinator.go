@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/num"
 	"repro/internal/ug/comm"
 )
 
@@ -57,6 +58,7 @@ type RunStats struct {
 	RacingWinnerName   string
 	SolvedInRacing     bool
 	Restarted          bool
+	CheckpointErrors   int64 // checkpoint saves that failed (best-effort, but observable)
 }
 
 // Result is the outcome of a UG run.
@@ -254,7 +256,9 @@ func (co *coordinator) run() (*Result, error) {
 		}
 		if co.cfg.CheckpointPath != "" && now.Sub(co.lastCkpt).Seconds() >= co.cfg.CheckpointEvery {
 			co.lastCkpt = now
-			co.saveCheckpoint()
+			if err := co.saveCheckpoint(); err != nil {
+				co.stats.CheckpointErrors++
+			}
 		}
 		if !co.stopping && co.cfg.TimeLimit > 0 && elapsed > co.cfg.TimeLimit {
 			co.beginStop()
@@ -423,7 +427,7 @@ func (co *coordinator) handle(m comm.Message) {
 		co.workerBound[m.From] = st.Bound
 		co.workerOpen[m.From] = st.Open
 		co.workerNodes[m.From] = st.Nodes
-		if m.From == co.rootRank && co.stats.RootTime == 0 && st.RootTime > 0 {
+		if m.From == co.rootRank && num.ExactZero(co.stats.RootTime) && st.RootTime > 0 {
 			co.stats.RootTime = st.RootTime
 		}
 	case comm.TagTerminated:
@@ -438,7 +442,7 @@ func (co *coordinator) handle(m comm.Message) {
 			co.busy[m.From] += time.Since(t)
 			delete(co.dispatchAt, m.From)
 		}
-		if co.stats.RootTime == 0 && m.From == co.rootRank && out.RootTime > 0 {
+		if num.ExactZero(co.stats.RootTime) && m.From == co.rootRank && out.RootTime > 0 {
 			co.stats.RootTime = out.RootTime
 		}
 		if co.racing {
@@ -550,7 +554,9 @@ func (co *coordinator) finalize() *Result {
 		co.stats.IdleRatio[rank-1] = idle
 	}
 	if co.cfg.CheckpointPath != "" {
-		co.saveCheckpoint()
+		if err := co.saveCheckpoint(); err != nil {
+			co.stats.CheckpointErrors++
+		}
 	}
 	res := &Result{Stats: co.stats, DualBound: co.stats.FinalDual}
 	if co.incumbent != nil {

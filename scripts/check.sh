@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# check.sh — the repo's one-command verification gate.
+#
+# Runs, in order:
+#   1. gofmt -l          formatting drift
+#   2. go vet ./...      the stock toolchain analyzers
+#   3. go build ./...    everything compiles
+#   4. ugolint ./...     the solver-aware analyzers (internal/analysis)
+#   5. go test -race     the concurrency-sensitive packages
+#   6. go test ./...     the full tier-1 suite (includes the ugolint
+#                        selfcheck via internal/analysis)
+#
+# Exits non-zero on the first failure.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+step() {
+    echo "== $*"
+}
+
+step "gofmt -l"
+unformatted=$(gofmt -l . 2>&1)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:"
+    echo "$unformatted"
+    fail=1
+fi
+
+step "go vet ./..."
+go vet ./... || fail=1
+
+step "go build ./..."
+go build ./... || fail=1
+
+step "ugolint ./..."
+go run ./cmd/ugolint ./... || fail=1
+
+step "go test -race ./internal/ug/... ./internal/scip/..."
+go test -race ./internal/ug/... ./internal/scip/... || fail=1
+
+step "go test ./..."
+go test ./... || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "check: FAILED"
+    exit 1
+fi
+echo "check: OK"
