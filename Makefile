@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint race fmt check
+.PHONY: build test lint lint-fix-list race fmt check
 
 build:
 	go build ./...
@@ -12,6 +12,12 @@ test:
 # the "Static analysis" section of README.md).
 lint:
 	go run ./cmd/ugolint ./...
+
+# lint-fix-list prints findings grouped by file with per-file counts —
+# the triage view for working down a backlog. Always exits 0 so it can
+# be run mid-cleanup.
+lint-fix-list:
+	-go run ./cmd/ugolint -q -group ./...
 
 race:
 	go test -race ./internal/ug/... ./internal/scip/...

@@ -7,6 +7,7 @@
 //	go run ./cmd/ugolint ./...                 # whole module
 //	go run ./cmd/ugolint ./internal/ug/...     # one subtree
 //	go run ./cmd/ugolint -analyzers floatcmp,errdrop ./...
+//	go run ./cmd/ugolint -group ./...          # findings grouped by file
 //	go run ./cmd/ugolint -list                 # describe analyzers
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -24,7 +26,8 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list analyzers and exit")
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		quiet     = flag.Bool("q", false, "suppress the summary line")
+		quiet     = flag.Bool("q", false, "suppress the summary lines")
+		group     = flag.Bool("group", false, "group findings by file for triage")
 	)
 	flag.Parse()
 
@@ -71,14 +74,61 @@ func main() {
 	}
 
 	findings := analysis.Run(pkgs, sel)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *group {
+		printGrouped(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ugolint: %d package(s), %d finding(s)\n", len(pkgs), len(findings))
+		printPerAnalyzer(sel, findings)
 	}
 	if len(findings) > 0 || broken > 0 {
 		os.Exit(1)
+	}
+}
+
+// printPerAnalyzer writes one summary line per selected analyzer (plus
+// the "lint" pseudo-analyzer for malformed directives, when it fired).
+func printPerAnalyzer(sel []*analysis.Analyzer, findings []analysis.Finding) {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	for _, a := range sel {
+		fmt.Fprintf(os.Stderr, "ugolint:   %-12s %d\n", a.Name, counts[a.Name])
+		delete(counts, a.Name)
+	}
+	extra := make([]string, 0, len(counts))
+	for name := range counts {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(os.Stderr, "ugolint:   %-12s %d\n", name, counts[name])
+	}
+}
+
+// printGrouped writes findings grouped by file with a per-file count —
+// the triage view behind `make lint-fix-list`.
+func printGrouped(findings []analysis.Finding) {
+	byFile := map[string][]analysis.Finding{}
+	var files []string
+	for _, f := range findings {
+		if _, ok := byFile[f.Pos.Filename]; !ok {
+			files = append(files, f.Pos.Filename)
+		}
+		byFile[f.Pos.Filename] = append(byFile[f.Pos.Filename], f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		fs := byFile[file]
+		fmt.Printf("%s (%d)\n", file, len(fs))
+		for _, f := range fs {
+			fmt.Printf("  %d:%d [%s] %s\n", f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
 	}
 }
 

@@ -43,6 +43,10 @@ type Pass struct {
 	Pkg     *types.Package
 	Info    *types.Info
 	PkgPath string
+	// Mod is the module-wide call graph with converged function
+	// summaries; the interprocedural analyzers (lockblock, goroleak,
+	// mapdet) consult it.
+	Mod *Module
 
 	analyzer *Analyzer
 	findings *[]Finding
@@ -66,7 +70,9 @@ type Analyzer struct {
 	Run     func(*Pass)
 }
 
-// All returns the full analyzer set in stable order.
+// All returns the full analyzer set in stable order: the six
+// intraprocedural analyzers from the first generation, then the four
+// interprocedural ones built on the call-graph summaries.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -75,6 +81,10 @@ func All() []*Analyzer {
 		MathRand,
 		PrintfDebug,
 		ExportDoc,
+		LockBlock,
+		GoroLeak,
+		MapDet,
+		TolConst,
 	}
 }
 
@@ -102,8 +112,13 @@ func ByName(names string) ([]*Analyzer, error) {
 // RunPackage applies analyzers to one loaded package and returns the
 // findings that survive //lint:ignore filtering. Malformed or unknown
 // ignore directives are themselves reported under the pseudo-analyzer
-// "lint".
+// "lint". The call graph is built over the single package; use Run for
+// whole-module summaries.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	return runPackage(pkg, BuildModule([]*Package{pkg}), analyzers)
+}
+
+func runPackage(pkg *Package, mod *Module, analyzers []*Analyzer) []Finding {
 	var raw []Finding
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.PkgPath) {
@@ -115,6 +130,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			PkgPath:  pkg.PkgPath,
+			Mod:      mod,
 			analyzer: a,
 			findings: &raw,
 		}
@@ -134,10 +150,13 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 }
 
 // Run applies analyzers to every package and concatenates the findings.
+// The interprocedural summaries are computed once over all packages, so
+// a blocking call three packages deep is visible at every call site.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	mod := BuildModule(pkgs)
 	var out []Finding
 	for _, pkg := range pkgs {
-		out = append(out, RunPackage(pkg, analyzers)...)
+		out = append(out, runPackage(pkg, mod, analyzers)...)
 	}
 	sortFindings(out)
 	return out

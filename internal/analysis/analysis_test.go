@@ -215,8 +215,8 @@ func enclosingFixtureFunc(t *testing.T, pkg *Package, f Finding) string {
 // TestByName covers the CLI's analyzer selection.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 10", len(all), err)
 	}
 	sel, err := ByName("floatcmp, errdrop")
 	if err != nil || len(sel) != 2 || sel[0].Name != "floatcmp" || sel[1].Name != "errdrop" {

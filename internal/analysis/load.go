@@ -99,7 +99,13 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		if !ok {
 			continue
 		}
-		if !hasGoFiles(dir) {
+		// An unreadable directory must fail the run, not silently shrink
+		// the analyzed set: a lint gate that skips packages lies.
+		hasGo, err := hasGoFiles(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+		}
+		if !hasGo {
 			continue
 		}
 		pkg, err := l.load(pkgPath)
@@ -141,19 +147,19 @@ func (l *Loader) importPathFor(dir string) (string, bool) {
 	return l.ModPath + "/" + filepath.ToSlash(rel), true
 }
 
-func hasGoFiles(dir string) bool {
+func hasGoFiles(dir string) (bool, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return false
+		return false, err
 	}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }
 
 // load parses and type-checks one module-local package, caching results.

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockBlock extends lockhold across call boundaries: while a
+// sync.Mutex/RWMutex is held, calling a module function whose summary
+// says it may block (channel op, select, Cond/WaitGroup Wait, blocking
+// stdlib I/O — possibly buried several calls deep) turns the critical
+// section into a convoy or a deadlock. It also reports the
+// self-deadlock shape: calling a function that (transitively) acquires
+// the very mutex object already held, which on a non-reentrant Go mutex
+// blocks forever. Direct blocking operations in the critical section are
+// lockhold's territory; lockblock only reports module-local *calls*, so
+// the two analyzers never double-report a site.
+//
+// sync.Cond.Wait is exempt by contract: it atomically releases the lock
+// while parked (the mailbox get() pattern in internal/ug/comm).
+var LockBlock = &Analyzer{
+	Name:    "lockblock",
+	Doc:     "call chain that may block (or re-acquire the held mutex) while a mutex is held",
+	Applies: isInternal,
+	Run:     runLockBlock,
+}
+
+func runLockBlock(p *Pass) {
+	if p.Mod == nil {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				scanLockedObjs(p, body.List, map[string]types.Object{}, func(st ast.Stmt, held map[string]types.Object) {
+					checkCallsWhileHeld(p, st, held)
+				})
+			}
+			return true // nested FuncLits scanned separately
+		})
+	}
+}
+
+// checkCallsWhileHeld reports module-local calls in st (not descending
+// into nested blocks or function literals) whose converged summary says
+// they may block, or that may re-acquire a held mutex identity.
+func checkCallsWhileHeld(p *Pass, st ast.Stmt, held map[string]types.Object) {
+	for _, e := range shallowExprs(st) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // separate scope, own lock discipline
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCondWaitCall(p, call) {
+				return true // releases the lock while parked, by contract
+			}
+			for _, c := range p.Mod.calleesOf(p.Info, call.Fun) {
+				sum := c.Summary()
+				if sum.MayBlock {
+					p.Reportf(call.Pos(), "call to %s may block (channel/select/Wait/I-O in its call chain) while mutex is held", c.Name())
+					continue
+				}
+				for recv, obj := range held {
+					if obj != nil && sum.Acquires[obj] {
+						p.Reportf(call.Pos(), "call to %s may re-acquire %s, which is already held: self-deadlock on a non-reentrant mutex", c.Name(), recv)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCondWaitCall matches cond.Wait() where cond is a *sync.Cond.
+func isCondWaitCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	return isCondRecv(p, sel)
+}
+
+// scanLockedObjs is scanLocked's interprocedural sibling: the same
+// straight-line held-set approximation, but tracking the mutex *object*
+// identity (field or variable) alongside the printed receiver, and
+// invoking a callback instead of a fixed check so lockhold and lockblock
+// share the walk structure.
+func scanLockedObjs(p *Pass, stmts []ast.Stmt, held map[string]types.Object, check func(ast.Stmt, map[string]types.Object)) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := mutexOp(p, st.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = mutexObjOf(p, st.X)
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases only at return: the mutex stays
+			// held for the remainder of this statement list.
+			continue
+		}
+		if len(held) > 0 {
+			check(st, held)
+		}
+		for _, nested := range nestedBlocks(st) {
+			scanLockedObjs(p, nested, copyObjSet(held), check)
+		}
+	}
+}
+
+// mutexObjOf resolves the receiver object of a mutex method call
+// (already validated by mutexOp); nil when unresolvable.
+func mutexObjOf(p *Pass, e ast.Expr) types.Object {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return mutexIdentity(p.Info, sel.X)
+}
+
+func copyObjSet(m map[string]types.Object) map[string]types.Object {
+	out := make(map[string]types.Object, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

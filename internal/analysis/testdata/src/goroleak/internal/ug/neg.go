@@ -1,0 +1,81 @@
+package ug
+
+// returnOnSignal leaves the loop through a return.
+func returnOnSignal(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// listensOnQuit never returns, but one of its blocking operations is a
+// termination-named channel: trusted as a termination path.
+func listensOnQuit(ch chan int, quit chan bool) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-quit:
+			}
+		}
+	}()
+}
+
+// rangeOverChannel terminates when the channel is closed.
+func rangeOverChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// returnInBody escapes via a conditional return (the runWorker shape:
+// exit on the termination tag).
+func returnInBody(ch chan int) {
+	go func() {
+		for {
+			v := <-ch
+			if v < 0 {
+				return
+			}
+		}
+	}()
+}
+
+// breakOut escapes the loop with an unlabeled break.
+func breakOut(ch chan int) {
+	go func() {
+		for {
+			v := <-ch
+			if v == 0 {
+				break
+			}
+		}
+	}()
+}
+
+// oneShot has no loop at all.
+func oneShot(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// spinWithDefault polls without blocking: a select with a default case
+// never parks the goroutine.
+func spinWithDefault(ch chan int, out []int) {
+	go func() {
+		for i := 0; i < 100; i++ {
+			select {
+			case v := <-ch:
+				out[i] = v
+			default:
+			}
+		}
+	}()
+}

@@ -1,0 +1,49 @@
+// Package ug holds positive (pos.go) and negative (neg.go) fixtures for
+// the goroleak analyzer: goroutines that loop forever over blocking
+// operations with no termination path.
+package ug
+
+// leakLiteral spawns a literal whose loop can only ever block on ch —
+// nothing in the loop names a termination signal and control never
+// leaves it.
+func leakLiteral(ch chan int) {
+	go func() { // WANT goroleak
+		total := 0
+		for {
+			v := <-ch
+			total += v
+		}
+	}()
+}
+
+// pump is the leaky body of a named-function spawn.
+func pump(jobs, results chan int) {
+	for {
+		j := <-jobs
+		results <- j * 2
+	}
+}
+
+func startPump(jobs, results chan int) {
+	go pump(jobs, results) // WANT goroleak
+}
+
+// runPump wraps pump: the leak is one synchronous call deeper.
+func runPump(jobs, results chan int) { pump(jobs, results) }
+
+func startWrapped(jobs, results chan int) {
+	go runPump(jobs, results) // WANT goroleak
+}
+
+// leakSelect blocks in a select with no default and no escape; neither
+// channel is termination-named.
+func leakSelect(a, b chan int) {
+	go func() { // WANT goroleak
+		for {
+			select {
+			case <-a:
+			case <-b:
+			}
+		}
+	}()
+}

@@ -1,0 +1,56 @@
+package ug
+
+import "sync"
+
+// peek neither blocks nor acquires: calling it under the lock is fine.
+func peek(p *pool) int { return len(p.items) }
+
+func safeCall(p *pool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return peek(p)
+}
+
+func unlockThenBlock(p *pool, ch chan int) int {
+	p.mu.Lock()
+	p.items = nil
+	p.mu.Unlock()
+	return waitForItem(ch) // lock already released
+}
+
+type waiter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// condWait parks on the condition variable while holding the lock —
+// exempt, because Cond.Wait atomically releases it (the mailbox
+// pattern in internal/ug/comm).
+func condWait(w *waiter) {
+	w.mu.Lock()
+	for w.n == 0 {
+		w.cond.Wait()
+	}
+	w.n--
+	w.mu.Unlock()
+}
+
+// otherMutex acquires a different mutex object than the one held by its
+// caller: not a self-deadlock.
+type twoLocks struct {
+	a, b sync.Mutex
+	v    int
+}
+
+func (t *twoLocks) lockB() int {
+	t.b.Lock()
+	defer t.b.Unlock()
+	return t.v
+}
+
+func underA(t *twoLocks) int {
+	t.a.Lock()
+	defer t.a.Unlock()
+	return t.lockB()
+}

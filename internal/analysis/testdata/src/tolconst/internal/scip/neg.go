@@ -1,0 +1,31 @@
+package scip
+
+// feasTol is the sanctioned spelling: a named constant (in the real
+// tree it lives in internal/num).
+const feasTol = 1e-6
+
+func feasibleNamed(ax, rhs float64) bool {
+	return ax < rhs+feasTol
+}
+
+// bigCoef compares against a magnitude that is not a tolerance.
+func bigCoef(x float64) bool {
+	return x > 0.5
+}
+
+// scaled uses a small literal outside any comparison (a scaling
+// factor, not an epsilon).
+func scaled(x float64) float64 {
+	return x * 1e-9
+}
+
+// intCompare involves only integer constants.
+func intCompare(n int) bool {
+	return n > 0
+}
+
+// zeroCompare against exact zero is floatcmp's business, not a
+// tolerance literal.
+func zeroCompare(x float64) bool {
+	return x > 0
+}

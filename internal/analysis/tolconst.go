@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// TolConst flags raw floating-point tolerance literals used in
+// comparisons inside the solver core — the spelling `diff < 1e-9` that
+// floatcmp (which looks for == / != on floats) cannot see. Scattered
+// ad-hoc epsilons are how a parallel solver ends up accepting a
+// solution on one rank that another rank rejects; every tolerance must
+// be a named constant in internal/num so feasibility, optimality-gap,
+// and zero tests agree across the coordinator, the workers, and the
+// sequential core. Magnitudes above 1e-4 are not tolerances (branching
+// scores, penalty weights) and are ignored, as are literals outside
+// comparisons (step sizes, scaling factors).
+var TolConst = &Analyzer{
+	Name:    "tolconst",
+	Doc:     "raw float tolerance literal (|v| <= 1e-4) in a comparison; use a named internal/num constant",
+	Applies: isSolverCore,
+	Run:     runTolConst,
+}
+
+// tolLiteralMax is the largest magnitude treated as a tolerance.
+const tolLiteralMax = 1e-4
+
+func runTolConst(p *Pass) {
+	inspect(p, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, operand := range [...]ast.Expr{be.X, be.Y} {
+			ast.Inspect(operand, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				lit, ok := x.(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[lit]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.Float {
+					return true
+				}
+				v, _ := constant.Float64Val(tv.Value)
+				if v < 0 {
+					v = -v
+				}
+				if v > 0 && v <= tolLiteralMax {
+					p.Reportf(lit.Pos(), "raw tolerance literal %s in a comparison; use a named constant from internal/num (FeasTol/OptTol/ZeroTol/...) so every layer applies the same epsilon", lit.Value)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}

@@ -23,6 +23,10 @@ const (
 	// ZeroTol is the threshold below which an accumulated quantity is
 	// numerical noise.
 	ZeroTol = 1e-12
+	// BoundCrossTol guards bound-crossing tests in branching (has a
+	// child's bound crossed its parent's?): tighter than FeasTol so
+	// stalled bounds are noticed, looser than OptTol so LP noise is not.
+	BoundCrossTol = 1e-7
 )
 
 // Eq reports a ≈ b within absolute tolerance tol.

@@ -1,10 +1,10 @@
 package scip
 
 import (
-	"math"
 	"math/rand"
 
 	"repro/internal/lp"
+	"repro/internal/num"
 )
 
 // Ctx is the view of the solver state passed to plugins while a node is
@@ -40,19 +40,19 @@ func (c *Ctx) LocalLo(j int) float64 { return c.S.localLo[j] }
 func (c *Ctx) LocalUp(j int) float64 { return c.S.localUp[j] }
 
 // Fixed reports whether variable j is fixed at this node.
-func (c *Ctx) Fixed(j int) bool { return c.S.localUp[j]-c.S.localLo[j] < 1e-9 }
+func (c *Ctx) Fixed(j int) bool { return num.Eq(c.S.localUp[j], c.S.localLo[j], num.OptTol) }
 
 // TightenLo raises the local lower bound of j; returns true if it
 // changed. Detects local infeasibility automatically.
 func (c *Ctx) TightenLo(j int, v float64) bool {
-	if v <= c.S.localLo[j]+1e-9 {
+	if num.Leq(v, c.S.localLo[j], num.OptTol) {
 		return false
 	}
 	c.S.localLo[j] = v
 	if c.S.Set.UseLP {
 		c.S.lps.SetBound(j, v, c.S.localUp[j])
 	}
-	if v > c.S.localUp[j]+1e-7 {
+	if num.Gt(v, c.S.localUp[j], num.BoundCrossTol) {
 		c.infeasible = true
 	}
 	return true
@@ -60,14 +60,14 @@ func (c *Ctx) TightenLo(j int, v float64) bool {
 
 // TightenUp lowers the local upper bound of j; returns true if changed.
 func (c *Ctx) TightenUp(j int, v float64) bool {
-	if v >= c.S.localUp[j]-1e-9 {
+	if num.Geq(v, c.S.localUp[j], num.OptTol) {
 		return false
 	}
 	c.S.localUp[j] = v
 	if c.S.Set.UseLP {
 		c.S.lps.SetBound(j, c.S.localLo[j], v)
 	}
-	if v < c.S.localLo[j]-1e-7 {
+	if num.Lt(v, c.S.localLo[j], num.BoundCrossTol) {
 		c.infeasible = true
 	}
 	return true
@@ -155,7 +155,7 @@ func (c *Ctx) IsIntegral(x []float64) bool {
 		if v.Type == Continuous {
 			continue
 		}
-		if math.Abs(x[j]-math.Round(x[j])) > 1e-6 {
+		if !num.Integral(x[j], num.FeasTol) {
 			return false
 		}
 	}

@@ -1,0 +1,129 @@
+package scip
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// traceProp is a recording propagator: it sees every node the solver
+// processes (propagation runs before bounding and branching) and logs
+// the node identity, depth, dual bound, and the branching bound changes
+// that created it. Two runs of a deterministic solver must produce
+// byte-identical traces.
+type traceProp struct {
+	events []string
+}
+
+func (tp *traceProp) Name() string { return "trace" }
+
+func (tp *traceProp) Propagate(ctx *Ctx) Result {
+	n := ctx.Node
+	ev := fmt.Sprintf("node=%d depth=%d bound=%.17g", n.ID, n.Depth, n.Bound)
+	for _, bc := range n.BoundChgs {
+		ev += fmt.Sprintf(" chg(var=%d lo=%.17g up=%.17g)", bc.Var, bc.Lo, bc.Up)
+	}
+	tp.events = append(tp.events, ev)
+	return DidNothing
+}
+
+// tracedSolve runs one full solve over the given instance and returns
+// the solver plus its recorded node trace.
+func tracedSolve(t *testing.T, values, weights []float64, capacity float64, seed int64) (*Solver, []string) {
+	t.Helper()
+	set := DefaultSettings()
+	set.Seed = seed
+	tp := &traceProp{}
+	s := NewSolver(knapsackProb(values, weights, capacity), set, &Plugins{
+		Propagators: []Propagator{tp},
+	})
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("status = %v", st)
+	}
+	return s, tp.events
+}
+
+// TestDeterministicReplay is the regression guard behind the mapdet
+// analyzer: running the sequential solver twice on the same seed
+// instance must reproduce the node count, the full branching sequence,
+// and the final bounds exactly. This is the property UG's deterministic
+// execution mode builds on — if the sequential core already diverges
+// run-to-run (e.g. through map-iteration order), no coordination
+// protocol above it can restore replayability.
+func TestDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		n := 10 + rng.Intn(6)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var totW float64
+		for i := 0; i < n; i++ {
+			values[i] = float64(1 + rng.Intn(40))
+			weights[i] = float64(1 + rng.Intn(12))
+			totW += weights[i]
+		}
+		capacity := totW / 2
+		seed := int64(trial)
+
+		s1, trace1 := tracedSolve(t, values, weights, capacity, seed)
+		s2, trace2 := tracedSolve(t, values, weights, capacity, seed)
+
+		if s1.Stats.Nodes != s2.Stats.Nodes {
+			t.Fatalf("trial %d: node counts differ: %d vs %d", trial, s1.Stats.Nodes, s2.Stats.Nodes)
+		}
+		if s1.Incumbent() == nil || s2.Incumbent() == nil {
+			t.Fatalf("trial %d: missing incumbent", trial)
+		}
+		// Exact equality is deliberate: identical runs must produce
+		// bit-identical objective and bound values, not merely close ones.
+		if s1.Incumbent().Obj != s2.Incumbent().Obj { //lint:ignore floatcmp replay must be bit-identical, tolerance would mask divergence
+			t.Fatalf("trial %d: objectives differ: %v vs %v", trial, s1.Incumbent().Obj, s2.Incumbent().Obj)
+		}
+		if s1.BestBound() != s2.BestBound() { //lint:ignore floatcmp replay must be bit-identical, tolerance would mask divergence
+			t.Fatalf("trial %d: final bounds differ: %v vs %v", trial, s1.BestBound(), s2.BestBound())
+		}
+		if len(trace1) != len(trace2) {
+			t.Fatalf("trial %d: trace lengths differ: %d vs %d", trial, len(trace1), len(trace2))
+		}
+		for i := range trace1 {
+			if trace1[i] != trace2[i] {
+				t.Fatalf("trial %d: branching sequence diverges at step %d:\n  run1: %s\n  run2: %s",
+					trial, i, trace1[i], trace2[i])
+			}
+		}
+	}
+}
+
+// TestDeterministicReplayAcrossNodeSelections repeats the replay check
+// under every node-selection strategy: plunging and best-bound orderings
+// exercise different tree-walk code paths, all of which must replay.
+func TestDeterministicReplayAcrossNodeSelections(t *testing.T) {
+	values := []float64{17, 4, 29, 11, 8, 23, 14, 6, 19, 3, 26, 9}
+	weights := []float64{5, 2, 9, 4, 3, 8, 6, 2, 7, 1, 10, 4}
+	capacity := 30.0
+	for _, sel := range []NodeSelection{BestBound, DepthFirst, HybridPlunge} {
+		run := func() (int64, []string) {
+			set := DefaultSettings()
+			set.NodeSel = sel
+			set.Seed = 42
+			tp := &traceProp{}
+			s := NewSolver(knapsackProb(values, weights, capacity), set, &Plugins{
+				Propagators: []Propagator{tp},
+			})
+			if st := s.Solve(); st != StatusOptimal {
+				t.Fatalf("sel %v: status = %v", sel, st)
+			}
+			return s.Stats.Nodes, tp.events
+		}
+		n1, t1 := run()
+		n2, t2 := run()
+		if n1 != n2 {
+			t.Fatalf("sel %v: node counts differ: %d vs %d", sel, n1, n2)
+		}
+		for i := range t1 {
+			if i >= len(t2) || t1[i] != t2[i] {
+				t.Fatalf("sel %v: trace diverges at step %d", sel, i)
+			}
+		}
+	}
+}

@@ -215,7 +215,7 @@ func (s *Solver) Gap() float64 {
 		return Infinity
 	}
 	ub := s.incumbent.Obj
-	if math.Abs(ub) < 1e-12 {
+	if num.IsZero(ub, num.ZeroTol) {
 		return math.Abs(ub - lb)
 	}
 	return (ub - lb) / math.Abs(ub)
@@ -237,10 +237,10 @@ func (s *Solver) verifyGlobal(x []float64) bool {
 		return false
 	}
 	for j, v := range s.Prob.Vars {
-		if x[j] < v.Lo-1e-6 || x[j] > v.Up+1e-6 {
+		if num.Lt(x[j], v.Lo, num.FeasTol) || num.Gt(x[j], v.Up, num.FeasTol) {
 			return false
 		}
-		if v.Type != Continuous && math.Abs(x[j]-math.Round(x[j])) > 1e-6 {
+		if v.Type != Continuous && !num.Integral(x[j], num.FeasTol) {
 			return false
 		}
 	}
@@ -251,15 +251,15 @@ func (s *Solver) verifyGlobal(x []float64) bool {
 		}
 		switch r.Sense {
 		case lp.LE:
-			if ax > r.RHS+1e-6 {
+			if num.Gt(ax, r.RHS, num.FeasTol) {
 				return false
 			}
 		case lp.GE:
-			if ax < r.RHS-1e-6 {
+			if num.Lt(ax, r.RHS, num.FeasTol) {
 				return false
 			}
 		case lp.EQ:
-			if math.Abs(ax-r.RHS) > 1e-6 {
+			if !num.Eq(ax, r.RHS, num.FeasTol) {
 				return false
 			}
 		}
@@ -685,7 +685,7 @@ func (s *Solver) branchBuiltin(ctx *Ctx, n *Node, cand []float64) bool {
 			}
 			f := cand[j] - math.Floor(cand[j])
 			frac := math.Min(f, 1-f)
-			if frac < 1e-6 {
+			if frac < num.FeasTol {
 				continue
 			}
 			var score float64

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -271,10 +272,23 @@ func (co *coordinator) run() (*Result, error) {
 
 // pushPool adds a subproblem to the coordinator pool.
 func (co *coordinator) pushPool(sub *Subproblem) {
-	if co.incumbent != nil && sub.Bound >= co.incumbent.Obj-1e-12 {
+	if co.incumbent != nil && num.Geq(sub.Bound, co.incumbent.Obj, num.ZeroTol) {
 		return // dominated
 	}
 	heap.Push(&co.pool, sub)
+}
+
+// runningRanks returns the ranks with an active subproblem in ascending
+// order. Iterating co.running directly visits ranks in Go's randomized
+// map order, which leaks into racing tie-breaks, checkpoint layout, and
+// message traces — everything deterministic replay needs stable.
+func (co *coordinator) runningRanks() []int {
+	ranks := make([]int, 0, len(co.running))
+	for rank := range co.running {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 // dispatchTo sends one subproblem to a specific worker.
@@ -313,7 +327,7 @@ func (co *coordinator) dispatchAll() {
 		rank := co.idle[len(co.idle)-1]
 		co.idle = co.idle[:len(co.idle)-1]
 		sub := heap.Pop(&co.pool).(*Subproblem)
-		if co.incumbent != nil && sub.Bound >= co.incumbent.Obj-1e-12 {
+		if co.incumbent != nil && num.Geq(sub.Bound, co.incumbent.Obj, num.ZeroTol) {
 			co.idle = append(co.idle, rank)
 			continue
 		}
@@ -330,12 +344,12 @@ func (co *coordinator) adjustCollectMode() {
 	}
 	if !co.collectMode && len(co.pool) < co.cfg.CollectLow && len(co.running) > 0 {
 		co.collectMode = true
-		for rank := range co.running {
+		for _, rank := range co.runningRanks() {
 			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStartCollect})
 		}
 	} else if co.collectMode && len(co.pool) >= co.cfg.CollectHigh {
 		co.collectMode = false
-		for rank := range co.running {
+		for _, rank := range co.runningRanks() {
 			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStopCollect})
 		}
 	}
@@ -356,15 +370,19 @@ func (co *coordinator) maybeEndRacing(elapsed float64) {
 	if !trigger {
 		return
 	}
+	// Visit ranks in ascending order so ties in bound and open-node
+	// count resolve to the lowest rank on every run, not whichever rank
+	// the map iterator happened to produce first.
+	ranks := co.runningRanks()
 	best := -1
-	for rank := range co.running {
+	for _, rank := range ranks {
 		if best < 0 {
 			best = rank
 			continue
 		}
 		bb, bo := co.workerBound[best], co.workerOpen[best]
 		rb, ro := co.workerBound[rank], co.workerOpen[rank]
-		if rb > bb+1e-9 || (math.Abs(rb-bb) <= 1e-9 && ro > bo) {
+		if num.Gt(rb, bb, num.OptTol) || (num.Eq(rb, bb, num.OptTol) && ro > bo) {
 			best = rank
 		}
 	}
@@ -376,7 +394,7 @@ func (co *coordinator) maybeEndRacing(elapsed float64) {
 	co.stats.RacingWinnerName = co.factory.SettingsName(co.racingIdx[best])
 	co.windingUp = true
 	co.comm.Send(best, comm.Message{From: 0, Tag: comm.TagExtractAll})
-	for rank := range co.running {
+	for _, rank := range ranks {
 		if rank != best {
 			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStop})
 		}
@@ -386,7 +404,7 @@ func (co *coordinator) maybeEndRacing(elapsed float64) {
 // beginStop interrupts all running solvers (time limit reached).
 func (co *coordinator) beginStop() {
 	co.stopping = true
-	for rank := range co.running {
+	for _, rank := range co.runningRanks() {
 		co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStop})
 	}
 }
@@ -397,17 +415,17 @@ func (co *coordinator) handle(m comm.Message) {
 	case comm.TagSolution:
 		var sol Solution
 		dec(m.Payload, &sol)
-		if co.incumbent == nil || sol.Obj < co.incumbent.Obj-1e-12 {
+		if co.incumbent == nil || num.Lt(sol.Obj, co.incumbent.Obj, num.ZeroTol) {
 			co.incumbent = &sol
 			// Broadcast to all running solvers and prune the pool.
-			for rank := range co.running {
+			for _, rank := range co.runningRanks() {
 				if rank != m.From {
 					co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagSolution, Payload: enc(sol)})
 				}
 			}
 			keep := co.pool[:0]
 			for _, sub := range co.pool {
-				if sub.Bound < co.incumbent.Obj-1e-12 {
+				if num.Lt(sub.Bound, co.incumbent.Obj, num.ZeroTol) {
 					keep = append(keep, sub)
 				}
 			}

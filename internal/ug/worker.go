@@ -3,6 +3,7 @@ package ug
 import (
 	"time"
 
+	"repro/internal/num"
 	"repro/internal/ug/comm"
 )
 
@@ -107,7 +108,7 @@ func (s *Session) ShipNode(sub Subproblem) {
 // FoundSolution reports a newly found primal solution if it improves on
 // everything this session has seen.
 func (s *Session) FoundSolution(sol Solution) {
-	if sol.Obj >= s.bestReported-1e-12 {
+	if num.Geq(sol.Obj, s.bestReported, num.ZeroTol) {
 		return
 	}
 	s.bestReported = sol.Obj
