@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-fix-list race fmt check
+.PHONY: build test lint lint-fix-list race fmt check trace-smoke
 
 build:
 	go build ./...
@@ -27,3 +27,10 @@ fmt:
 
 check:
 	./scripts/check.sh
+
+# trace-smoke runs a small instrumented Steiner solve and validates the
+# resulting JSONL event trace with ugtrace (the same gate CI applies).
+trace-smoke:
+	go run ./cmd/ugsteiner -instance cc3-4p -workers 2 -racing -trace /tmp/ug-smoke.trace -stats
+	go run ./cmd/ugtrace -validate /tmp/ug-smoke.trace
+	go run ./cmd/ugtrace /tmp/ug-smoke.trace

@@ -16,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/misdp"
 	"repro/internal/misdp/testsets"
+	"repro/internal/obs"
 	"repro/internal/ug"
 )
 
@@ -34,8 +36,33 @@ func main() {
 		mode      = flag.String("mode", "hybrid", "solution mode: lp, sdp, hybrid (racing)")
 		timeLimit = flag.Float64("time", 0, "time limit in seconds")
 		seq       = flag.Bool("sequential", false, "run the sequential solver instead of UG")
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this file (render with ugtrace)")
+		stats     = flag.Bool("stats", false, "print the full run-statistics and metrics tables")
+		profile   = flag.String("profile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		pf, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(sink)
+	}
 
 	var inst *misdp.MISDP
 	switch *family {
@@ -77,12 +104,32 @@ func main() {
 		}
 		set.TimeLimit = *timeLimit
 		app := misdp.NewApp(inst, 4)
-		solver, st, _ := core.SolveSequential(app, set)
+		solver, st, _ := core.SolveSequentialTraced(app, set, tracer)
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("status   %v\n", st)
 		if solver.Incumbent() != nil {
 			fmt.Printf("objective %.6g (max form)\n", -solver.Incumbent().Obj)
 		}
 		fmt.Printf("nodes    %d\n", solver.Stats.Nodes)
+		if *stats {
+			fmt.Println("\n--- solver statistics ---")
+			ss := solver.Stats
+			for _, row := range []struct {
+				name  string
+				value int64
+			}{
+				{"nodes", ss.Nodes},
+				{"LP iterations", ss.LPIterations},
+				{"cuts added", ss.CutsAdded},
+				{"solutions found", ss.SolsFound},
+				{"max depth", int64(ss.MaxDepth)},
+				{"propagator fixings", ss.PropFixings},
+			} {
+				fmt.Printf("%-18s  %d\n", row.name, row.value)
+			}
+		}
 		return
 	}
 
@@ -93,15 +140,22 @@ func main() {
 	default:
 		app = misdp.NewApp(inst, 16)
 	}
-	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit}
+	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer}
 	if *racing || *mode == "hybrid" {
 		cfg.RampUp = ug.RampUpRacing
 		cfg.RacingTime = 0.3
 	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 	res, _, err := core.SolveParallel(app, cfg)
+	if cerr := tracer.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ugmisdp:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	st := res.Stats
 	switch {
@@ -117,4 +171,19 @@ func main() {
 	if st.RacingWinner >= 0 {
 		fmt.Printf("racing   winner settings %d (%s)\n", st.RacingWinner, st.RacingWinnerName)
 	}
+	if *stats {
+		fmt.Println("\n--- run statistics ---")
+		if err := ug.FormatStats(os.Stdout, st); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n--- metrics ---")
+		if err := obs.WriteTable(os.Stdout, reg.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ugmisdp:", err)
+	os.Exit(1)
 }

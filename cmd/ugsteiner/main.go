@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/steiner"
 	"repro/internal/steiner/puc"
 	"repro/internal/ug"
@@ -34,8 +36,25 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint file to write")
 		restart    = flag.String("restart", "", "checkpoint file to restore")
 		commKind   = flag.String("comm", "channel", "communicator: channel (shared memory) or gob (serialized, MPI-like)")
+		tracePath  = flag.String("trace", "", "write a JSONL coordination-event trace to this file (render with ugtrace)")
+		stats      = flag.Bool("stats", false, "print the full run-statistics and metrics tables")
+		profile    = flag.String("profile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		pf, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
 
 	var spg *steiner.SPG
 	switch {
@@ -72,14 +91,39 @@ func main() {
 	if *commKind == "gob" {
 		cfg.Comm = comm.NewGobComm(*workers + 1)
 	}
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = obs.NewTracer(sink)
+	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 
 	fmt.Printf("instance %s: %d vertices, %d edges, %d terminals\n",
 		spg.Name, spg.G.AliveVertices(), spg.G.AliveEdges(), spg.NumTerminals())
 	res, factory, err := core.SolveParallel(steiner.NewApp(spg), cfg)
+	if cerr := cfg.Trace.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}
 	report(res, factory.ObjOffset())
+	if *stats {
+		fmt.Println("\n--- run statistics ---")
+		if err := ug.FormatStats(os.Stdout, res.Stats); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n--- metrics ---")
+		if err := obs.WriteTable(os.Stdout, reg.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func report(res *ug.Result, offset float64) {

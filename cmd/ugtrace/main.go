@@ -1,0 +1,247 @@
+// Command ugtrace renders the JSONL event traces written by ugsteiner
+// and ugmisdp under -trace. It validates the stream invariants (dense
+// sequence numbers, monotone logical ticks, known event kinds, balanced
+// collect-mode intervals) and derives the views the paper's figures are
+// built from: the dual/primal bound trajectory, the busy/idle solver
+// timeline, collect-mode intervals, and the racing ladder table.
+//
+// Usage:
+//
+//	ugtrace run.trace             # validate + all report sections
+//	ugtrace -validate run.trace   # validation only (CI gate); exit 1 on failure
+//	ugtrace -bounds run.trace     # bound trajectory only
+//	ugtrace -timeline run.trace   # busy/idle solver timeline only
+//	ugtrace -collect run.trace    # collect-mode intervals only
+//	ugtrace -racing run.trace     # racing ladder table only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		validateOnly = flag.Bool("validate", false, "only validate the trace; exit nonzero on malformed or out-of-order events")
+		bounds       = flag.Bool("bounds", false, "print the dual/primal bound trajectory")
+		timeline     = flag.Bool("timeline", false, "print the busy/idle solver timeline")
+		collect      = flag.Bool("collect", false, "print collect-mode intervals")
+		racing       = flag.Bool("racing", false, "print the racing ladder table")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ugtrace [-validate|-bounds|-timeline|-collect|-racing] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.ValidateTrace(events); err != nil {
+		fatal(fmt.Errorf("invalid trace: %w", err))
+	}
+	if *validateOnly {
+		fmt.Printf("ok: %d events, %d kinds, final tick %d\n",
+			len(events), countKinds(events), finalTick(events))
+		return
+	}
+
+	all := !*bounds && !*timeline && !*collect && !*racing
+	w := os.Stdout
+	if all || *bounds {
+		reportBounds(w, events)
+	}
+	if all || *timeline {
+		reportTimeline(w, events)
+	}
+	if all || *collect {
+		reportCollect(w, events)
+	}
+	if all || *racing {
+		reportRacing(w, events)
+	}
+}
+
+func countKinds(events []obs.Event) int {
+	kinds := map[string]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	return len(kinds)
+}
+
+func finalTick(events []obs.Event) int64 {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].Tick
+}
+
+// reportBounds prints the trajectory of the global dual and primal
+// bounds over logical time — the data behind the paper's convergence
+// plots. Sequential (scip.node) traces contribute their per-node bounds.
+func reportBounds(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== bound trajectory ===")
+	fmt.Fprintf(w, "%8s  %10s  %14s  %14s  %s\n", "tick", "wall(s)", "dual", "primal", "source")
+	n := 0
+	for _, e := range events {
+		var src string
+		switch e.Kind {
+		case obs.KindDualBound:
+			src = "dual-bound change"
+		case obs.KindIncumbent:
+			src = fmt.Sprintf("incumbent from rank %d", e.Rank)
+		case obs.KindRunEnd:
+			src = "final"
+		case obs.KindScipNode:
+			src = fmt.Sprintf("node %d", e.Sub)
+		default:
+			continue
+		}
+		fmt.Fprintf(w, "%8d  %10.3f  %14.6g  %14.6g  %s\n", e.Tick, e.Wall, e.Dual, e.Primal, src)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "(no bound events)")
+	}
+	fmt.Fprintln(w)
+}
+
+// reportTimeline prints per-rank busy/idle intervals in logical time,
+// plus a per-rank utilization summary. Intervals still open when the
+// trace ends are closed at the final tick.
+func reportTimeline(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== solver timeline (logical ticks) ===")
+	type span struct{ from, to int64 }
+	busySince := map[int]int64{}
+	spans := map[int][]span{}
+	end := finalTick(events)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSolverBusy:
+			busySince[e.Rank] = e.Tick
+		case obs.KindSolverIdle:
+			if from, ok := busySince[e.Rank]; ok {
+				spans[e.Rank] = append(spans[e.Rank], span{from, e.Tick})
+				delete(busySince, e.Rank)
+			}
+		}
+	}
+	for rank, from := range busySince {
+		spans[rank] = append(spans[rank], span{from, end})
+	}
+	ranks := make([]int, 0, len(spans))
+	for rank := range spans {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	if len(ranks) == 0 {
+		fmt.Fprintln(w, "(no solver busy/idle events)")
+		fmt.Fprintln(w)
+		return
+	}
+	for _, rank := range ranks {
+		ss := spans[rank]
+		sort.Slice(ss, func(a, b int) bool { return ss[a].from < ss[b].from })
+		var busy int64
+		fmt.Fprintf(w, "rank %d:", rank)
+		for _, s := range ss {
+			fmt.Fprintf(w, " [%d,%d]", s.from, s.to)
+			busy += s.to - s.from
+		}
+		if end > 0 {
+			fmt.Fprintf(w, "  busy %.1f%% of %d ticks", 100*float64(busy)/float64(end), end)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// reportCollect prints collect-mode intervals (dynamic load balancing
+// phases) with the number of nodes collected inside each.
+func reportCollect(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== collect-mode intervals ===")
+	open := int64(-1)
+	var openDepth, nodes, total int
+	n := 0
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindCollectStart:
+			open, openDepth, nodes = e.Tick, e.Open, 0
+		case obs.KindCollectNode:
+			nodes++
+			total++
+		case obs.KindCollectStop:
+			if open >= 0 {
+				fmt.Fprintf(w, "ticks [%d,%d]: pool %d -> %d, %d nodes collected\n",
+					open, e.Tick, openDepth, e.Open, nodes)
+				n++
+				open = -1
+			}
+		}
+	}
+	if open >= 0 {
+		fmt.Fprintf(w, "ticks [%d,end]: pool %d -> ?, %d nodes collected (unterminated)\n",
+			open, openDepth, nodes)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(w, "(no collect phases; %d stray collect.node events)\n", total)
+	}
+	fmt.Fprintln(w)
+}
+
+// reportRacing prints the racing ramp-up ladder: which settings ran on
+// which rank, and who won.
+func reportRacing(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== racing ladder ===")
+	started := false
+	byRank := map[int]string{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindRacingStart:
+			started = true
+			fmt.Fprintf(w, "racing started at tick %d with %d rungs\n", e.Tick, e.Open)
+		case obs.KindDispatch:
+			if started && e.Str != "" {
+				byRank[e.Rank] = e.Str
+			}
+		case obs.KindRacingWinner:
+			ranks := make([]int, 0, len(byRank))
+			for rank := range byRank {
+				ranks = append(ranks, rank)
+			}
+			sort.Ints(ranks)
+			for _, rank := range ranks {
+				marker := " "
+				if rank == e.Rank {
+					marker = "*"
+				}
+				fmt.Fprintf(w, "%s rank %-3d %s\n", marker, rank, byRank[rank])
+			}
+			fmt.Fprintf(w, "winner: rank %d, settings %d (%s) at tick %d\n", e.Rank, e.Sub, e.Str, e.Tick)
+		case obs.KindRacingDone:
+			fmt.Fprintf(w, "wind-up finished at tick %d\n", e.Tick)
+		}
+	}
+	if !started {
+		fmt.Fprintln(w, "(no racing events)")
+	}
+	fmt.Fprintln(w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ugtrace:", err)
+	os.Exit(1)
+}

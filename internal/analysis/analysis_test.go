@@ -133,6 +133,19 @@ func TestErrDropFixture(t *testing.T)     { checkFixture(t, ErrDrop, "errdrop") 
 func TestMathRandFixture(t *testing.T)    { checkFixture(t, MathRand, "mathrand") }
 func TestPrintfDebugFixture(t *testing.T) { checkFixture(t, PrintfDebug, "printfdebug") }
 
+// TestPrintfDebugObsWhitelist pins the observability-layer exemption:
+// the fixture package's import path ends in /internal/obs, prints to
+// stdout and stderr, and must produce zero findings.
+func TestPrintfDebugObsWhitelist(t *testing.T) {
+	checkFixture(t, PrintfDebug, "obswhitelist/internal/obs")
+	if printfDebugApplies("repro/internal/obs") {
+		t.Error("printfdebug must not apply to repro/internal/obs")
+	}
+	if !printfDebugApplies("repro/internal/ug") {
+		t.Error("printfdebug must still apply to repro/internal/ug")
+	}
+}
+
 // TestExportDocFixture asserts by symbol name: inline markers would
 // themselves document the declarations under test.
 func TestExportDocFixture(t *testing.T) {

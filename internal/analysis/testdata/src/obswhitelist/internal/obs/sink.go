@@ -1,0 +1,21 @@
+// Package obs stands in for the real internal/obs package: the
+// printfdebug whitelist keys on the "/internal/obs" path segment, so
+// this fixture proves the observability layer's own console output
+// (sinks, table writers) is exempt. None of the lines below carry WANT
+// markers — a finding here is a whitelist regression.
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+func emitTable() {
+	fmt.Println("metric  kind  value") // exempt: obs IS the output layer
+	fmt.Printf("%-20s %d\n", "ug.pool.depth", 3)
+}
+
+func sinkFallback() {
+	fmt.Fprintln(os.Stderr, "obs: sink write failed, dropping event")
+	fmt.Fprintf(os.Stdout, "trace summary\n")
+}

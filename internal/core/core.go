@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/scip"
 	"repro/internal/ug"
 )
@@ -172,10 +173,12 @@ func (w *worker) Solve(sub *ug.Subproblem, sess *ug.Session) ug.Outcome {
 	st := s.SolveSubprob(sp)
 	reportIncumbent()
 	return ug.Outcome{
-		Completed: st == scip.StatusOptimal || st == scip.StatusInfeasible,
-		Nodes:     s.Stats.Nodes,
-		OpenLeft:  s.NumOpen(),
-		RootTime:  s.Stats.RootTime,
+		Completed:    st == scip.StatusOptimal || st == scip.StatusInfeasible,
+		Nodes:        s.Stats.Nodes,
+		OpenLeft:     s.NumOpen(),
+		RootTime:     s.Stats.RootTime,
+		LPIterations: s.Stats.LPIterations,
+		CutsAdded:    s.Stats.CutsAdded,
 	}
 }
 
@@ -189,14 +192,19 @@ func SolveParallel(app App, cfg ug.Config) (*ug.Result, *Factory, error) {
 // SolveSequential runs the plain customized solver (no UG) — the
 // baseline the paper's tables compare against.
 func SolveSequential(app App, set scip.Settings) (*scip.Solver, scip.Status, float64) {
+	return SolveSequentialTraced(app, set, nil)
+}
+
+// SolveSequentialTraced is SolveSequential with an obs tracer attached
+// to the base solver before the solve starts, so the per-node scip.node
+// event stream covers the whole run. trace may be nil (no tracing).
+func SolveSequentialTraced(app App, set scip.Settings, trace *obs.Tracer) (*scip.Solver, scip.Status, float64) {
 	f := NewFactory(app)
 	if _, _, err := f.GlobalPresolve(); err != nil {
 		panic(err)
 	}
-	if len(app.Settings) > 0 {
-		// keep provided settings ladder but use the requested one
-	}
 	s := scip.NewSolver(f.presolved, set, f.app.MakePlugins())
+	s.Trace = trace
 	st := s.Solve()
 	return s, st, f.objOffset
 }

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Seq: 0, Tick: 0, Wall: 0, Kind: KindRunStart, Open: 4},
+		{Seq: 1, Tick: 3, Wall: 0.25, Kind: KindDispatch, Rank: 2, Sub: 17, Dual: -12.5},
+		{Seq: 2, Tick: 3, Wall: 0.5, Kind: KindDualBound, Dual: math.Inf(-1), Primal: math.Inf(1)},
+		{Seq: 3, Tick: 9, Wall: 1.5, Kind: KindRacingWinner, Rank: 1, Sub: 2, Str: `agg "fast"\path`},
+		{Seq: 4, Tick: 12, Wall: 2, Kind: KindRunEnd, Dual: 41, Primal: 41, Nodes: 1234},
+	}
+	for _, ev := range evs {
+		line := ev.AppendJSON(nil)
+		got, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("parse %s: %v", line, err)
+		}
+		if got != ev {
+			t.Fatalf("roundtrip mismatch:\n in: %+v\nout: %+v\nline: %s", ev, got, line)
+		}
+	}
+}
+
+func TestEventEncodingDeterministic(t *testing.T) {
+	ev := Event{Seq: 5, Tick: 7, Wall: 0.125, Kind: KindStatus, Rank: 3, Dual: 1.0 / 3.0, Open: 9}
+	a := ev.AppendJSON(nil)
+	b := ev.AppendJSON(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same event encoded differently:\n%s\n%s", a, b)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json",
+		`{"seq":1`,
+		`{"seq":"x","tick":0}`,
+		`{"mystery":1}`,
+	} {
+		if _, err := ParseLine([]byte(bad)); err == nil {
+			t.Errorf("ParseLine(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestDisabledTracerNoAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.SetTick(5)
+		tr.Emit(Event{Kind: KindStatus, Rank: 1, Dual: -3.5, Open: 2, Nodes: 99})
+		if tr.Enabled() {
+			t.Fatal("nil tracer claims enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestDisabledMetricsNoAllocs(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", []float64{1, 2})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(7)
+		g.Add(-1)
+		h.Observe(1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics allocate: %v allocs/op", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || g.HighWater() != 0 || h.Count() != 0 {
+		t.Fatal("disabled metrics recorded values")
+	}
+}
+
+func TestTracerSeqTickWall(t *testing.T) {
+	sink := &MemSink{}
+	tr := NewTracer(sink)
+	tr.Emit(Event{Kind: KindRunStart})
+	tr.SetTick(4)
+	tr.Emit(Event{Kind: KindDispatch, Rank: 1})
+	tr.SetTick(9)
+	tr.Emit(Event{Kind: KindRunEnd})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[0].Tick != 0 || evs[1].Tick != 4 || evs[2].Tick != 9 {
+		t.Fatalf("ticks wrong: %d %d %d", evs[0].Tick, evs[1].Tick, evs[2].Tick)
+	}
+	if evs[0].Wall > evs[1].Wall || evs[1].Wall > evs[2].Wall {
+		t.Fatalf("wall time regressed: %v %v %v", evs[0].Wall, evs[1].Wall, evs[2].Wall)
+	}
+	if err := ValidateTrace(evs); err != nil {
+		t.Fatalf("emitted trace invalid: %v", err)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	sink := &MemSink{}
+	tr := NewTracer(sink)
+	tr.Emit(Event{Kind: KindRunStart})
+	var wg sync.WaitGroup
+	const ranks, per = 8, 200
+	for r := 1; r <= ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(Event{Kind: KindWorkerShip, Rank: r})
+			}
+		}(r)
+	}
+	wg.Wait()
+	evs := sink.Events()
+	if len(evs) != ranks*per+1 {
+		t.Fatalf("lost events: %d", len(evs))
+	}
+	if err := ValidateTrace(evs); err != nil {
+		t.Fatalf("concurrent trace invalid: %v", err)
+	}
+}
+
+func TestWriterSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewWriterSink(&buf))
+	tr.Emit(Event{Kind: KindRunStart, Open: 2})
+	tr.SetTick(1)
+	tr.Emit(Event{Kind: KindRunEnd, Dual: 5, Primal: 5})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Dual != 5 {
+		t.Fatalf("decoded %+v", evs)
+	}
+}
+
+func TestValidateTraceCatchesViolations(t *testing.T) {
+	base := func() []Event {
+		return []Event{
+			{Seq: 0, Kind: KindRunStart},
+			{Seq: 1, Tick: 1, Kind: KindDispatch, Rank: 1},
+			{Seq: 2, Tick: 2, Kind: KindRunEnd},
+		}
+	}
+	if err := ValidateTrace(base()); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := base()
+	bad[1].Seq = 7
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("seq gap accepted")
+	}
+	bad = base()
+	bad[2].Tick = 0
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("tick regression accepted")
+	}
+	bad = base()
+	bad[1].Kind = "no.such.kind"
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	bad = base()
+	bad[1].Kind = KindCollectStop
+	if err := ValidateTrace(bad); err == nil {
+		t.Error("unbalanced collect accepted")
+	}
+	if err := ValidateTrace(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestRegistrySnapshotSortedAndComplete(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.count").Add(3)
+	reg.Gauge("a.depth").Set(5)
+	reg.Gauge("a.depth").Set(2)
+	h := reg.Histogram("m.nodes", []float64{10, 100})
+	h.Observe(7)
+	h.Observe(50)
+
+	ms := reg.Snapshot()
+	byKey := map[string]float64{}
+	for i, m := range ms {
+		if i > 0 && (ms[i-1].Name > m.Name || (ms[i-1].Name == m.Name && ms[i-1].Kind > m.Kind)) {
+			t.Fatalf("snapshot not sorted at %d: %+v", i, ms)
+		}
+		byKey[m.Name+"/"+m.Kind] = m.Value
+	}
+	if byKey["z.count/counter"] != 3 {
+		t.Errorf("counter: %v", byKey)
+	}
+	if byKey["a.depth/gauge"] != 2 || byKey["a.depth/gauge.hw"] != 5 {
+		t.Errorf("gauge: %v", byKey)
+	}
+	if byKey["m.nodes/hist.count"] != 2 || byKey["m.nodes/hist.mean"] != 28.5 {
+		t.Errorf("histogram: %v", byKey)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.depth") || !strings.Contains(out, "gauge.hw") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+}
+
+func TestGaugeHighWaterConcurrent(t *testing.T) {
+	g := (&Registry{gauges: map[string]*Gauge{}}).Gauge("g")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("gauge drifted: %d", g.Value())
+	}
+	if hw := g.HighWater(); hw < 1 || hw > 4 {
+		t.Fatalf("high watermark %d out of range", hw)
+	}
+}

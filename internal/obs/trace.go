@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReadTrace decodes a JSONL trace stream into events, in file order.
+// Decoding stops at the first malformed line.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		ev, err := ParseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateTrace checks the structural invariants every well-formed trace
+// satisfies: known event kinds, strictly increasing sequence numbers
+// starting at 0, non-decreasing logical ticks, a run.start (or
+// scip.node) opener, and balanced collect-mode brackets. It returns the
+// first violation, or nil. This is the check CI's trace smoke test runs.
+func ValidateTrace(events []Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("obs: empty trace")
+	}
+	collectDepth := 0
+	for i, ev := range events {
+		if !KnownKind(ev.Kind) {
+			return fmt.Errorf("obs: event %d: unknown kind %q", i, ev.Kind)
+		}
+		if ev.Seq != int64(i) {
+			return fmt.Errorf("obs: event %d: seq %d out of order (want %d)", i, ev.Seq, i)
+		}
+		if i > 0 && ev.Tick < events[i-1].Tick {
+			return fmt.Errorf("obs: event %d: tick %d < previous tick %d", i, ev.Tick, events[i-1].Tick)
+		}
+		switch ev.Kind {
+		case KindCollectStart:
+			collectDepth++
+			if collectDepth > 1 {
+				return fmt.Errorf("obs: event %d: nested collect.start", i)
+			}
+		case KindCollectStop:
+			collectDepth--
+			if collectDepth < 0 {
+				return fmt.Errorf("obs: event %d: collect.stop without collect.start", i)
+			}
+		}
+	}
+	switch events[0].Kind {
+	case KindRunStart, KindScipNode:
+	default:
+		return fmt.Errorf("obs: trace starts with %q, want %q", events[0].Kind, KindRunStart)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/num"
+	"repro/internal/obs"
 )
 
 // Status is the final state of a Solve call.
@@ -68,6 +69,12 @@ type Solver struct {
 	// Poll, when set, is invoked between nodes; returning false interrupts
 	// the solve (used by the UG ParaSolver wrapper to service messages).
 	Poll func(s *Solver) bool
+
+	// Trace, when set, receives one scip.node event per processed node
+	// with the node counter as logical tick. Nil (the default) disables
+	// tracing: processNode then pays a single nil-check and no
+	// allocations, preserving the deterministic-replay guarantees.
+	Trace *obs.Tracer
 
 	lps       *lp.Solver
 	baseRows  int
@@ -440,6 +447,15 @@ func (s *Solver) processNode(n *Node) {
 		s.Stats.MaxDepth = n.Depth
 	}
 	s.curBound = n.Bound
+	if s.Trace.Enabled() {
+		primal := Infinity
+		if s.incumbent != nil {
+			primal = s.incumbent.Obj
+		}
+		s.Trace.SetTick(s.Stats.Nodes)
+		s.Trace.Emit(obs.Event{Kind: obs.KindScipNode, Sub: n.ID, Open: s.tree.size(),
+			Nodes: s.Stats.Nodes, Dual: n.Bound, Primal: primal})
+	}
 	ctx := s.activate(n)
 
 	finishRoot := func() {

@@ -15,6 +15,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Tag labels a message with its protocol meaning; the set mirrors the
@@ -77,6 +79,12 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []Message
 	closed bool
+	// depth mirrors len(queue) as an obs gauge (with high-watermark).
+	// Nil when the communicator is not instrumented; Gauge ops on nil
+	// are free no-ops, so put/get pay only a nil check by default. The
+	// gauge is updated while mb.mu is held, so its value is exactly
+	// len(queue) at every quiescent point.
+	depth *obs.Gauge
 }
 
 func newMailbox() *mailbox {
@@ -89,6 +97,7 @@ func (mb *mailbox) put(m Message) {
 	mb.mu.Lock()
 	if !mb.closed {
 		mb.queue = append(mb.queue, m)
+		mb.depth.Set(int64(len(mb.queue)))
 		mb.cond.Signal()
 	}
 	mb.mu.Unlock()
@@ -105,6 +114,7 @@ func (mb *mailbox) get() (Message, bool) {
 	}
 	m := mb.queue[0]
 	mb.queue = mb.queue[1:]
+	mb.depth.Set(int64(len(mb.queue)))
 	return m, true
 }
 
@@ -123,7 +133,20 @@ func (mb *mailbox) tryGet() (Message, bool) {
 	}
 	m := mb.queue[0]
 	mb.queue = mb.queue[1:]
+	mb.depth.Set(int64(len(mb.queue)))
 	return m, true
+}
+
+// instrumentBoxes attaches one depth gauge per rank, named
+// "comm.mailbox.depth[rank]". Call before traffic starts: attaching is
+// not synchronized with concurrent put/get.
+func instrumentBoxes(boxes []*mailbox, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for rank, mb := range boxes {
+		mb.depth = reg.Gauge(fmt.Sprintf("comm.mailbox.depth[%d]", rank))
+	}
 }
 
 // ChannelComm is the shared-memory communicator: messages move by
@@ -144,6 +167,10 @@ func NewChannelComm(size int) *ChannelComm {
 
 // Size implements Comm.
 func (c *ChannelComm) Size() int { return len(c.boxes) }
+
+// Instrument registers per-rank mailbox depth gauges (current depth and
+// high-watermark) in reg. Call before the communicator carries traffic.
+func (c *ChannelComm) Instrument(reg *obs.Registry) { instrumentBoxes(c.boxes, reg) }
 
 // Send implements Comm.
 func (c *ChannelComm) Send(to int, m Message) { c.boxes[to].put(m) }
@@ -192,6 +219,10 @@ func NewGobComm(size int) *GobComm {
 
 // Size implements Comm.
 func (c *GobComm) Size() int { return len(c.boxes) }
+
+// Instrument registers per-rank mailbox depth gauges (current depth and
+// high-watermark) in reg. Call before the communicator carries traffic.
+func (c *GobComm) Instrument(reg *obs.Registry) { instrumentBoxes(c.boxes, reg) }
 
 // Send implements Comm.
 func (c *GobComm) Send(to int, m Message) {

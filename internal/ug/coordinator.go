@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/num"
+	"repro/internal/obs"
 	"repro/internal/ug/comm"
 )
 
@@ -37,6 +38,15 @@ type Config struct {
 	// StatusInterval/ShipInterval tune worker communication cadence in
 	// seconds (zero keeps the defaults: 20ms status, 2ms shipping).
 	StatusInterval, ShipInterval float64
+
+	// Trace receives the coordination event stream (nil disables tracing
+	// at zero cost). Events are ordered by the coordinator loop tick —
+	// a logical clock that never feeds back into solver decisions.
+	Trace *obs.Tracer
+
+	// Metrics receives live counters/gauges (pool depth, mailbox depth,
+	// transfer bytes). Nil disables collection at zero cost.
+	Metrics *obs.Registry
 }
 
 // RunStats aggregates the statistics the paper's tables report.
@@ -60,6 +70,17 @@ type RunStats struct {
 	SolvedInRacing     bool
 	Restarted          bool
 	CheckpointErrors   int64 // checkpoint saves that failed (best-effort, but observable)
+
+	// Extended observability counters (the signals the paper's figures
+	// are drawn from; printed by the CLIs' -stats tables).
+	LPIterations   int64   // LP simplex iterations summed over all solvers
+	CutsAdded      int64   // cutting planes added summed over all solvers
+	TransferBytes  int64   // payload bytes moved LC ↔ ParaSolvers
+	MaxPoolDepth   int     // deepest the coordinator pool ever got
+	CollectPhases  int     // number of collect-mode intervals entered
+	StatusReports  int64   // periodic status messages received
+	Ticks          int64   // coordinator event-loop iterations (logical time)
+	PerWorkerNodes []int64 // branch-and-bound nodes per worker (rank-1 indexed)
 }
 
 // Result is the outcome of a UG run.
@@ -120,6 +141,15 @@ type coordinator struct {
 	rootRank int
 
 	stats RunStats
+
+	// Observability state. trace/metrics may be nil (disabled); every
+	// use is a nil-safe no-op then. tick is the logical clock: it
+	// advances once per event-loop iteration and orders the trace, but
+	// is never consulted by coordination decisions.
+	trace     *obs.Tracer
+	tick      int64
+	lastDual  float64 // last dual bound written to the trace
+	poolGauge *obs.Gauge
 }
 
 // Run executes a complete UG solve: global presolve in the coordinator,
@@ -151,12 +181,20 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 		cfg.RacingNodeLimit = 50
 	}
 
+	// Mailbox depth gauges: both built-in communicators support
+	// instrumentation; custom Comms may opt in with the same method.
+	if cfg.Metrics != nil {
+		if ic, ok := c.(interface{ Instrument(*obs.Registry) }); ok {
+			ic.Instrument(cfg.Metrics)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for rank := 1; rank <= cfg.Workers; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			runWorker(rank, c, factory)
+			runWorker(rank, c, factory, cfg.Trace)
 		}(rank)
 	}
 
@@ -173,8 +211,12 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 		racingIdx:   map[int]int{},
 		winnerRank:  -1,
 		rootRank:    -1,
+		trace:       cfg.Trace,
+		lastDual:    math.Inf(-1),
+		poolGauge:   cfg.Metrics.Gauge("ug.pool.depth"),
 	}
 	co.stats.RacingWinner = -1
+	co.stats.PerWorkerNodes = make([]int64, cfg.Workers)
 	res, err := co.run()
 	// Shut every worker down and wait for exit.
 	for rank := 1; rank <= cfg.Workers; rank++ {
@@ -187,6 +229,7 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 func (co *coordinator) run() (*Result, error) {
 	co.start = time.Now()
 	co.lastCkpt = co.start
+	co.trace.Emit(obs.Event{Kind: obs.KindRunStart, Open: co.cfg.Workers})
 
 	root, initial, err := co.factory.GlobalPresolve()
 	if err != nil {
@@ -215,6 +258,7 @@ func (co *coordinator) run() (*Result, error) {
 		}
 		co.stats.Restarted = true
 		co.stats.PoolAtStart = len(co.pool)
+		co.trace.Emit(obs.Event{Kind: obs.KindCkptRestore, Open: len(co.pool), Str: co.cfg.RestartFrom})
 	} else {
 		co.pushPool(&Subproblem{ID: 0, Bound: math.Inf(-1), Payload: root})
 	}
@@ -224,6 +268,7 @@ func (co *coordinator) run() (*Result, error) {
 	// Ramp-up.
 	if co.cfg.RampUp == RampUpRacing && !co.stats.Restarted && len(co.pool) == 1 {
 		co.racing = true
+		co.trace.Emit(obs.Event{Kind: obs.KindRacingStart, Open: co.factory.NumSettings()})
 		rootSub := co.pool[0]
 		co.pool = nil
 		for rank := 1; rank <= co.cfg.Workers; rank++ {
@@ -238,10 +283,15 @@ func (co *coordinator) run() (*Result, error) {
 		co.dispatchAll()
 	}
 
-	// Main event loop (Algorithm 1 with polling for timers).
+	// Main event loop (Algorithm 1 with polling for timers). Each
+	// iteration advances the logical clock one tick; the tick orders the
+	// trace but never influences a coordination decision.
 	for {
+		co.tick++
+		co.trace.SetTick(co.tick)
 		if msg, ok := co.comm.TryRecv(0); ok {
 			co.handle(msg)
+			co.traceDualBound()
 		} else {
 			time.Sleep(200 * time.Microsecond)
 		}
@@ -257,9 +307,11 @@ func (co *coordinator) run() (*Result, error) {
 		}
 		if co.cfg.CheckpointPath != "" && now.Sub(co.lastCkpt).Seconds() >= co.cfg.CheckpointEvery {
 			co.lastCkpt = now
-			if err := co.saveCheckpoint(); err != nil {
+			err := co.saveCheckpoint()
+			if err != nil {
 				co.stats.CheckpointErrors++
 			}
+			co.traceCheckpoint(err)
 		}
 		if !co.stopping && co.cfg.TimeLimit > 0 && elapsed > co.cfg.TimeLimit {
 			co.beginStop()
@@ -270,12 +322,43 @@ func (co *coordinator) run() (*Result, error) {
 	}
 }
 
+// traceDualBound writes a dual-bound event when the global bound moved
+// since the last one. The recomputation is O(pool + workers), so it only
+// runs when tracing is enabled.
+func (co *coordinator) traceDualBound() {
+	if !co.trace.Enabled() {
+		return
+	}
+	d := co.dualBound()
+	if d == co.lastDual { //lint:ignore floatcmp change detection must not hide small bound movements behind a tolerance
+		return
+	}
+	co.lastDual = d
+	co.trace.Emit(obs.Event{Kind: obs.KindDualBound, Dual: d, Primal: co.primalBound()})
+}
+
+// traceCheckpoint records a checkpoint save (or its failure).
+func (co *coordinator) traceCheckpoint(err error) {
+	if !co.trace.Enabled() {
+		return
+	}
+	ev := obs.Event{Kind: obs.KindCkptSave, Open: len(co.pool) + len(co.running)}
+	if err != nil {
+		ev.Str = err.Error()
+	}
+	co.trace.Emit(ev)
+}
+
 // pushPool adds a subproblem to the coordinator pool.
 func (co *coordinator) pushPool(sub *Subproblem) {
 	if co.incumbent != nil && num.Geq(sub.Bound, co.incumbent.Obj, num.ZeroTol) {
 		return // dominated
 	}
 	heap.Push(&co.pool, sub)
+	if len(co.pool) > co.stats.MaxPoolDepth {
+		co.stats.MaxPoolDepth = len(co.pool)
+	}
+	co.poolGauge.Set(int64(len(co.pool)))
 }
 
 // runningRanks returns the ranks with an active subproblem in ascending
@@ -306,13 +389,23 @@ func (co *coordinator) dispatchTo(rank int, sub *Subproblem, tag comm.Tag, setti
 		co.stats.MaxActive = active
 		co.stats.FirstMaxActiveTime = time.Since(co.start).Seconds()
 	}
-	co.comm.Send(rank, comm.Message{From: 0, Tag: tag, Payload: enc(workMsg{
+	payload := enc(workMsg{
 		Sub:         *sub,
 		Incumbent:   co.incumbent,
 		SettingsIdx: settingsIdx,
 		StatusSec:   co.cfg.StatusInterval,
 		ShipSec:     co.cfg.ShipInterval,
-	})})
+	})
+	co.stats.TransferBytes += int64(len(payload))
+	if co.trace.Enabled() {
+		ev := obs.Event{Kind: obs.KindDispatch, Rank: rank, Sub: sub.ID, Dual: sub.Bound}
+		if tag == comm.TagRacing {
+			ev.Str = co.factory.SettingsName(settingsIdx)
+		}
+		co.trace.Emit(ev)
+		co.trace.Emit(obs.Event{Kind: obs.KindSolverBusy, Rank: rank})
+	}
+	co.comm.Send(rank, comm.Message{From: 0, Tag: tag, Payload: payload})
 	if co.collectMode {
 		co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStartCollect})
 	}
@@ -327,6 +420,7 @@ func (co *coordinator) dispatchAll() {
 		rank := co.idle[len(co.idle)-1]
 		co.idle = co.idle[:len(co.idle)-1]
 		sub := heap.Pop(&co.pool).(*Subproblem)
+		co.poolGauge.Set(int64(len(co.pool)))
 		if co.incumbent != nil && num.Geq(sub.Bound, co.incumbent.Obj, num.ZeroTol) {
 			co.idle = append(co.idle, rank)
 			continue
@@ -344,11 +438,14 @@ func (co *coordinator) adjustCollectMode() {
 	}
 	if !co.collectMode && len(co.pool) < co.cfg.CollectLow && len(co.running) > 0 {
 		co.collectMode = true
+		co.stats.CollectPhases++
+		co.trace.Emit(obs.Event{Kind: obs.KindCollectStart, Open: len(co.pool)})
 		for _, rank := range co.runningRanks() {
 			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStartCollect})
 		}
 	} else if co.collectMode && len(co.pool) >= co.cfg.CollectHigh {
 		co.collectMode = false
+		co.trace.Emit(obs.Event{Kind: obs.KindCollectStop, Open: len(co.pool)})
 		for _, rank := range co.runningRanks() {
 			co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStopCollect})
 		}
@@ -393,6 +490,8 @@ func (co *coordinator) maybeEndRacing(elapsed float64) {
 	co.stats.RacingWinner = co.racingIdx[best]
 	co.stats.RacingWinnerName = co.factory.SettingsName(co.racingIdx[best])
 	co.windingUp = true
+	co.trace.Emit(obs.Event{Kind: obs.KindRacingWinner, Rank: best,
+		Sub: int64(co.stats.RacingWinner), Str: co.stats.RacingWinnerName})
 	co.comm.Send(best, comm.Message{From: 0, Tag: comm.TagExtractAll})
 	for _, rank := range ranks {
 		if rank != best {
@@ -404,6 +503,7 @@ func (co *coordinator) maybeEndRacing(elapsed float64) {
 // beginStop interrupts all running solvers (time limit reached).
 func (co *coordinator) beginStop() {
 	co.stopping = true
+	co.trace.Emit(obs.Event{Kind: obs.KindRunStop, Open: len(co.running)})
 	for _, rank := range co.runningRanks() {
 		co.comm.Send(rank, comm.Message{From: 0, Tag: comm.TagStop})
 	}
@@ -415,8 +515,10 @@ func (co *coordinator) handle(m comm.Message) {
 	case comm.TagSolution:
 		var sol Solution
 		dec(m.Payload, &sol)
+		co.stats.TransferBytes += int64(len(m.Payload))
 		if co.incumbent == nil || num.Lt(sol.Obj, co.incumbent.Obj, num.ZeroTol) {
 			co.incumbent = &sol
+			co.trace.Emit(obs.Event{Kind: obs.KindIncumbent, Rank: m.From, Primal: sol.Obj})
 			// Broadcast to all running solvers and prune the pool.
 			for _, rank := range co.runningRanks() {
 				if rank != m.From {
@@ -431,6 +533,7 @@ func (co *coordinator) handle(m comm.Message) {
 			}
 			co.pool = keep
 			heap.Init(&co.pool)
+			co.poolGauge.Set(int64(len(co.pool)))
 		}
 	case comm.TagNode:
 		var sub Subproblem
@@ -438,6 +541,8 @@ func (co *coordinator) handle(m comm.Message) {
 		co.nextSubID++
 		sub.ID = co.nextSubID
 		co.stats.Collected++
+		co.stats.TransferBytes += int64(len(m.Payload))
+		co.trace.Emit(obs.Event{Kind: obs.KindCollectNode, Rank: m.From, Sub: sub.ID, Dual: sub.Bound})
 		co.pushPool(&sub)
 	case comm.TagStatus:
 		var st StatusReport
@@ -445,6 +550,9 @@ func (co *coordinator) handle(m comm.Message) {
 		co.workerBound[m.From] = st.Bound
 		co.workerOpen[m.From] = st.Open
 		co.workerNodes[m.From] = st.Nodes
+		co.stats.StatusReports++
+		co.trace.Emit(obs.Event{Kind: obs.KindStatus, Rank: m.From,
+			Dual: st.Bound, Open: st.Open, Nodes: st.Nodes})
 		if m.From == co.rootRank && num.ExactZero(co.stats.RootTime) && st.RootTime > 0 {
 			co.stats.RootTime = st.RootTime
 		}
@@ -456,6 +564,20 @@ func (co *coordinator) handle(m comm.Message) {
 		delete(co.workerBound, m.From)
 		co.workerOpen[m.From] = 0
 		co.stats.TotalNodes += out.Nodes
+		co.stats.LPIterations += out.LPIterations
+		co.stats.CutsAdded += out.CutsAdded
+		if m.From >= 1 && m.From <= len(co.stats.PerWorkerNodes) {
+			co.stats.PerWorkerNodes[m.From-1] += out.Nodes
+		}
+		if co.trace.Enabled() {
+			label := "interrupted"
+			if out.Completed {
+				label = "completed"
+			}
+			co.trace.Emit(obs.Event{Kind: obs.KindOutcome, Rank: m.From,
+				Nodes: out.Nodes, Open: out.OpenLeft, Str: label})
+			co.trace.Emit(obs.Event{Kind: obs.KindSolverIdle, Rank: m.From})
+		}
 		if t, ok := co.dispatchAt[m.From]; ok {
 			co.busy[m.From] += time.Since(t)
 			delete(co.dispatchAt, m.From)
@@ -503,6 +625,8 @@ func (co *coordinator) handleRacingTermination(rank int, out Outcome, sub *Subpr
 		co.stats.RacingWinnerName = co.factory.SettingsName(co.racingIdx[rank])
 		co.windingUp = true
 		co.winnerRank = rank
+		co.trace.Emit(obs.Event{Kind: obs.KindRacingWinner, Rank: rank,
+			Sub: int64(co.stats.RacingWinner), Str: co.stats.RacingWinnerName})
 		for r := range co.running {
 			co.comm.Send(r, comm.Message{From: 0, Tag: comm.TagStop})
 		}
@@ -511,6 +635,7 @@ func (co *coordinator) handleRacingTermination(rank int, out Outcome, sub *Subpr
 		// Racing phase fully wound up; switch to normal coordination.
 		co.racing = false
 		co.windingUp = false
+		co.trace.Emit(obs.Event{Kind: obs.KindRacingDone, Open: len(co.pool)})
 	}
 }
 
@@ -572,10 +697,15 @@ func (co *coordinator) finalize() *Result {
 		co.stats.IdleRatio[rank-1] = idle
 	}
 	if co.cfg.CheckpointPath != "" {
-		if err := co.saveCheckpoint(); err != nil {
+		err := co.saveCheckpoint()
+		if err != nil {
 			co.stats.CheckpointErrors++
 		}
+		co.traceCheckpoint(err)
 	}
+	co.stats.Ticks = co.tick
+	co.trace.Emit(obs.Event{Kind: obs.KindRunEnd,
+		Dual: co.stats.FinalDual, Primal: co.stats.FinalPrimal, Nodes: co.stats.TotalNodes})
 	res := &Result{Stats: co.stats, DualBound: co.stats.FinalDual}
 	if co.incumbent != nil {
 		res.Obj = co.incumbent.Obj

@@ -46,6 +46,11 @@ type Outcome struct {
 	Nodes     int64
 	OpenLeft  int // open nodes abandoned on interruption
 	RootTime  float64
+	// LPIterations/CutsAdded carry base-solver work counters back to the
+	// coordinator, which sums them into RunStats for the -stats tables.
+	// Base solvers without an LP leave them zero.
+	LPIterations int64
+	CutsAdded    int64
 }
 
 // Command is what Session.Poll hands back to the base-solver adapter.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/num"
+	"repro/internal/obs"
 	"repro/internal/ug/comm"
 )
 
@@ -27,6 +28,11 @@ type Session struct {
 	bestReported float64 // objective of the best solution this session reported/knows
 
 	shipped int // nodes shipped during this session
+
+	// trace records ParaSolver-side events (node shipping, solution
+	// reports). Nil disables it; the Poll hot path then pays only a
+	// pointer nil-check per event site.
+	trace *obs.Tracer
 }
 
 func newSession(rank int, c comm.Comm, initial *Solution, statusSec, shipSec float64) *Session {
@@ -102,6 +108,7 @@ func (s *Session) Poll(st StatusReport) Command {
 // racing-winner extraction).
 func (s *Session) ShipNode(sub Subproblem) {
 	s.shipped++
+	s.trace.Emit(obs.Event{Kind: obs.KindWorkerShip, Rank: s.rank, Dual: sub.Bound, Open: sub.Depth})
 	s.comm.Send(0, comm.Message{From: s.rank, Tag: comm.TagNode, Payload: enc(sub)})
 }
 
@@ -112,13 +119,14 @@ func (s *Session) FoundSolution(sol Solution) {
 		return
 	}
 	s.bestReported = sol.Obj
+	s.trace.Emit(obs.Event{Kind: obs.KindWorkerSol, Rank: s.rank, Primal: sol.Obj})
 	s.comm.Send(0, comm.Message{From: s.rank, Tag: comm.TagSolution, Payload: enc(sol)})
 }
 
 // runWorker is the ParaSolver main loop (the paper's Algorithm 2): wait
 // for work, solve it while communicating, report termination; exit on
-// the termination tag.
-func runWorker(rank int, c comm.Comm, factory SolverFactory) {
+// the termination tag. trace may be nil (tracing disabled).
+func runWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer) {
 	for {
 		m := c.Recv(rank)
 		switch m.Tag {
@@ -127,6 +135,7 @@ func runWorker(rank int, c comm.Comm, factory SolverFactory) {
 			dec(m.Payload, &w)
 			solver := factory.CreateWorker(w.SettingsIdx)
 			sess := newSession(rank, c, w.Incumbent, w.StatusSec, w.ShipSec)
+			sess.trace = trace
 			out := solver.Solve(&w.Sub, sess)
 			c.Send(0, comm.Message{From: rank, Tag: comm.TagTerminated, Payload: enc(out)})
 		case comm.TagTermination:

@@ -1,0 +1,251 @@
+package ug
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ug/comm"
+)
+
+// scriptedSession builds a Session for rank 1 over a 2-rank shared
+// memory comm, so tests can feed it coordinator messages and inspect
+// what it sends back to rank 0.
+func scriptedSession(initial *Solution, statusSec, shipSec float64) (*Session, *comm.ChannelComm) {
+	c := comm.NewChannelComm(2)
+	return newSession(1, c, initial, statusSec, shipSec), c
+}
+
+// expectStatus asserts the next rank-0 message is a status report and
+// decodes it.
+func expectStatus(t *testing.T, c *comm.ChannelComm) StatusReport {
+	t.Helper()
+	m, ok := c.TryRecv(0)
+	if !ok {
+		t.Fatal("no message pending for the coordinator")
+	}
+	if m.Tag != comm.TagStatus {
+		t.Fatalf("tag = %v, want status", m.Tag)
+	}
+	var st StatusReport
+	dec(m.Payload, &st)
+	return st
+}
+
+// TestSessionStatusCadence pins the status-report path: the first Poll
+// always reports (the "since" timestamp starts at zero), a second Poll
+// inside the interval stays silent, and the report carries the caller's
+// StatusReport verbatim.
+func TestSessionStatusCadence(t *testing.T) {
+	s, c := scriptedSession(nil, 3600, 3600) // one-hour cadences: only the first fires
+	s.Poll(StatusReport{Bound: 12.5, Open: 3, Nodes: 7, RootTime: 0.25})
+	st := expectStatus(t, c)
+	if st.Bound != 12.5 || st.Open != 3 || st.Nodes != 7 || st.RootTime != 0.25 {
+		t.Fatalf("status round-trip mangled: %+v", st)
+	}
+	s.Poll(StatusReport{Bound: 13, Open: 2, Nodes: 9})
+	if m, ok := c.TryRecv(0); ok {
+		t.Fatalf("second poll inside the interval sent %v", m.Tag)
+	}
+}
+
+// TestSessionCollectModeShipping drives the node-shipping path end to
+// end: startCollect flips WantNode on (given enough local open nodes),
+// ShipNode moves a subproblem to the coordinator and emits a
+// worker.ship event, stopCollect flips WantNode back off.
+func TestSessionCollectModeShipping(t *testing.T) {
+	s, c := scriptedSession(nil, 3600, 3600)
+	sink := &obs.MemSink{}
+	s.trace = obs.NewTracer(sink)
+
+	cmd := s.Poll(StatusReport{Open: 5})
+	if cmd.WantNode {
+		t.Fatal("WantNode before collect mode started")
+	}
+	expectStatus(t, c) // drain the first poll's status report
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagStartCollect})
+	cmd = s.Poll(StatusReport{Open: 5})
+	if !cmd.WantNode {
+		t.Fatal("WantNode not set in collect mode with open nodes")
+	}
+
+	sub := Subproblem{ID: 9, Depth: 4, Bound: 2.5, Payload: []byte{1, 2}}
+	s.ShipNode(sub)
+	m, ok := c.TryRecv(0)
+	if !ok || m.Tag != comm.TagNode {
+		t.Fatalf("shipped node not delivered (ok=%v tag=%v)", ok, m.Tag)
+	}
+	var got Subproblem
+	dec(m.Payload, &got)
+	if got.ID != 9 || got.Bound != 2.5 || got.Depth != 4 {
+		t.Fatalf("shipped subproblem mangled: %+v", got)
+	}
+	ships := sink.Filter(obs.KindWorkerShip)
+	if len(ships) != 1 || ships[0].Rank != 1 || ships[0].Dual != 2.5 {
+		t.Fatalf("worker.ship event wrong: %+v", ships)
+	}
+
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagStopCollect})
+	// Collect mode is off; WantNode must stay off even though the ship
+	// interval has long elapsed.
+	if cmd := s.Poll(StatusReport{Open: 5}); cmd.WantNode {
+		t.Fatal("WantNode after collect mode stopped")
+	}
+}
+
+// TestSessionCollectNeedsOpenNodes: a solver with at most one open node
+// never gives work away (it would starve itself).
+func TestSessionCollectNeedsOpenNodes(t *testing.T) {
+	s, c := scriptedSession(nil, 3600, 3600)
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagStartCollect})
+	if cmd := s.Poll(StatusReport{Open: 1}); cmd.WantNode {
+		t.Fatal("WantNode with a single open node")
+	}
+}
+
+// TestSessionSolutionFlow covers both solution directions: an incoming
+// incumbent surfaces in Command.Solutions and raises the reporting bar;
+// FoundSolution forwards only improvements and emits worker.sol.
+func TestSessionSolutionFlow(t *testing.T) {
+	s, c := scriptedSession(&Solution{Obj: 100}, 3600, 3600)
+	sink := &obs.MemSink{}
+	s.trace = obs.NewTracer(sink)
+
+	// Worse than the attached incumbent: dropped without traffic.
+	s.FoundSolution(Solution{Obj: 150})
+	s.Poll(StatusReport{}) // drain the first status report
+	expectStatus(t, c)
+	if m, ok := c.TryRecv(0); ok {
+		t.Fatalf("non-improving solution sent %v", m.Tag)
+	}
+
+	// Improvement: forwarded and traced.
+	s.FoundSolution(Solution{Obj: 90})
+	m, ok := c.TryRecv(0)
+	if !ok || m.Tag != comm.TagSolution {
+		t.Fatalf("improving solution not forwarded (ok=%v tag=%v)", ok, m.Tag)
+	}
+	var sol Solution
+	dec(m.Payload, &sol)
+	if sol.Obj != 90 {
+		t.Fatalf("forwarded objective %v", sol.Obj)
+	}
+	if evs := sink.Filter(obs.KindWorkerSol); len(evs) != 1 || evs[0].Primal != 90 {
+		t.Fatalf("worker.sol event wrong: %+v", evs)
+	}
+
+	// Coordinator broadcasts a still-better incumbent: it must appear in
+	// the command and raise the bar, so re-finding 85 stays silent.
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagSolution, Payload: enc(Solution{Obj: 80})})
+	cmd := s.Poll(StatusReport{})
+	if len(cmd.Solutions) != 1 || cmd.Solutions[0].Obj != 80 {
+		t.Fatalf("incoming incumbent not surfaced: %+v", cmd.Solutions)
+	}
+	s.FoundSolution(Solution{Obj: 85})
+	if m, ok := c.TryRecv(0); ok {
+		t.Fatalf("solution worse than broadcast incumbent sent %v", m.Tag)
+	}
+}
+
+// TestSessionStopAndExtract covers the remaining command bits: stop,
+// termination, and the racing winner's extract-all order. Both flags
+// latch — once seen they stay set on every later Poll.
+func TestSessionStopAndExtract(t *testing.T) {
+	s, c := scriptedSession(nil, 3600, 3600)
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagExtractAll})
+	cmd := s.Poll(StatusReport{})
+	if !cmd.ExtractAll || cmd.Stop {
+		t.Fatalf("extract-all poll: %+v", cmd)
+	}
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagStop})
+	cmd = s.Poll(StatusReport{})
+	if !cmd.Stop || !cmd.ExtractAll {
+		t.Fatalf("stop poll: %+v", cmd)
+	}
+
+	s2, c2 := scriptedSession(nil, 3600, 3600)
+	c2.Send(1, comm.Message{From: 0, Tag: comm.TagTermination})
+	if cmd := s2.Poll(StatusReport{}); !cmd.Stop {
+		t.Fatal("termination did not stop the session")
+	}
+}
+
+// shipOneWorker is a scripted WorkerSolver: it ships one node, reports
+// a solution, then finishes — enough to exercise runWorker's dispatch,
+// session wiring and terminated-report path deterministically.
+type shipOneWorker struct{}
+
+func (shipOneWorker) Solve(sub *Subproblem, sess *Session) Outcome {
+	sess.ShipNode(Subproblem{ID: sub.ID + 1, Bound: sub.Bound, Payload: []byte{7}})
+	sess.FoundSolution(Solution{Obj: 42, Payload: []byte{3}})
+	return Outcome{Completed: true, Nodes: 5, RootTime: 0.125, LPIterations: 11, CutsAdded: 2}
+}
+
+type shipOneFactory struct{}
+
+func (shipOneFactory) GlobalPresolve() ([]byte, *Solution, error) { return nil, nil, nil }
+func (shipOneFactory) CreateWorker(settingsIdx int) WorkerSolver  { return shipOneWorker{} }
+func (shipOneFactory) NumSettings() int                           { return 1 }
+func (shipOneFactory) SettingsName(idx int) string                { return "default" }
+
+// TestRunWorkerLoop drives the ParaSolver main loop directly: dispatch
+// → node ship + solution + terminated report, then clean exit on the
+// termination tag. The worker-side trace must carry the ship and
+// solution events with the worker's rank.
+func TestRunWorkerLoop(t *testing.T) {
+	c := comm.NewChannelComm(2)
+	sink := &obs.MemSink{}
+	tracer := obs.NewTracer(sink)
+	done := make(chan struct{})
+	go func() {
+		runWorker(1, c, shipOneFactory{}, tracer)
+		close(done)
+	}()
+
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagSubproblem, Payload: enc(workMsg{
+		Sub: Subproblem{ID: 3, Bound: 1.5}, StatusSec: 3600, ShipSec: 3600,
+	})})
+
+	var sawNode, sawSol bool
+	var out Outcome
+	for finished := false; !finished; {
+		m := c.Recv(0)
+		switch m.Tag {
+		case comm.TagNode:
+			var sub Subproblem
+			dec(m.Payload, &sub)
+			if sub.ID != 4 {
+				t.Errorf("shipped node ID %d, want 4", sub.ID)
+			}
+			sawNode = true
+		case comm.TagSolution:
+			sawSol = true
+		case comm.TagTerminated:
+			dec(m.Payload, &out)
+			finished = true
+		case comm.TagStatus:
+			// Periodic report; ignore.
+		default:
+			t.Fatalf("unexpected tag %v", m.Tag)
+		}
+	}
+	if !sawNode || !sawSol {
+		t.Fatalf("missing worker traffic: node=%v solution=%v", sawNode, sawSol)
+	}
+	if !out.Completed || out.Nodes != 5 || out.LPIterations != 11 || out.CutsAdded != 2 {
+		t.Fatalf("outcome mangled: %+v", out)
+	}
+
+	c.Send(1, comm.Message{From: 0, Tag: comm.TagTermination})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not exit on termination")
+	}
+	if evs := sink.Filter(obs.KindWorkerShip); len(evs) != 1 || evs[0].Rank != 1 {
+		t.Fatalf("worker.ship events: %+v", evs)
+	}
+	if evs := sink.Filter(obs.KindWorkerSol); len(evs) != 1 || evs[0].Primal != 42 {
+		t.Fatalf("worker.sol events: %+v", evs)
+	}
+}
