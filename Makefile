@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-fix-list race fmt check trace-smoke
+.PHONY: build test lint lint-fix-list race fmt check trace-smoke net-smoke
 
 build:
 	go build ./...
@@ -34,3 +34,13 @@ trace-smoke:
 	go run ./cmd/ugsteiner -instance cc3-4p -workers 2 -racing -trace /tmp/ug-smoke.trace -stats
 	go run ./cmd/ugtrace -validate /tmp/ug-smoke.trace
 	go run ./cmd/ugtrace /tmp/ug-smoke.trace
+
+# net-smoke exercises the distributed path end to end: the coordinator
+# self-spawns two worker processes, solves a small STP instance over
+# loopback TCP (comm/net transport), and the resulting trace — now
+# containing comm.connect events alongside the coordination events —
+# must validate. Needs a built binary: self-spawn re-invokes argv[0].
+net-smoke:
+	go build -o /tmp/ugsteiner-net ./cmd/ugsteiner
+	/tmp/ugsteiner-net -instance cc3-4p -net-procs 2 -trace /tmp/ug-net-smoke.trace -stats
+	go run ./cmd/ugtrace -validate /tmp/ug-net-smoke.trace

@@ -27,18 +27,22 @@ import (
 
 func main() {
 	var (
-		family    = flag.String("family", "ttd", "instance family: ttd, cls, mkp")
-		n         = flag.Int("n", 0, "size parameter (bars / features / vertices; 0 = default)")
-		k         = flag.Int("k", 0, "cardinality / partition classes (0 = default)")
-		seed      = flag.Int64("seed", 1, "instance seed")
-		workers   = flag.Int("workers", 4, "number of ParaSolvers")
-		racing    = flag.Bool("racing", true, "use racing ramp-up (the LP/SDP hybrid)")
-		mode      = flag.String("mode", "hybrid", "solution mode: lp, sdp, hybrid (racing)")
-		timeLimit = flag.Float64("time", 0, "time limit in seconds")
-		seq       = flag.Bool("sequential", false, "run the sequential solver instead of UG")
-		tracePath = flag.String("trace", "", "write a JSONL event trace to this file (render with ugtrace)")
-		stats     = flag.Bool("stats", false, "print the full run-statistics and metrics tables")
-		profile   = flag.String("profile", "", "write a CPU profile to this file")
+		family     = flag.String("family", "ttd", "instance family: ttd, cls, mkp")
+		n          = flag.Int("n", 0, "size parameter (bars / features / vertices; 0 = default)")
+		k          = flag.Int("k", 0, "cardinality / partition classes (0 = default)")
+		seed       = flag.Int64("seed", 1, "instance seed")
+		workers    = flag.Int("workers", 4, "number of ParaSolvers")
+		racing     = flag.Bool("racing", true, "use racing ramp-up (the LP/SDP hybrid)")
+		mode       = flag.String("mode", "hybrid", "solution mode: lp, sdp, hybrid (racing)")
+		timeLimit  = flag.Float64("time", 0, "time limit in seconds")
+		seq        = flag.Bool("sequential", false, "run the sequential solver instead of UG")
+		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file (render with ugtrace)")
+		stats      = flag.Bool("stats", false, "print the full run-statistics and metrics tables")
+		profile    = flag.String("profile", "", "write a CPU profile to this file")
+		netListen  = flag.String("net-listen", "", "run as distributed coordinator: rendezvous address to listen on (host:port, :0 = any)")
+		netConnect = flag.String("net-connect", "", "run as distributed worker: coordinator address to dial")
+		rank       = flag.Int("rank", 0, "this worker's rank (with -net-connect; 1-based)")
+		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
 	)
 	flag.Parse()
 
@@ -94,6 +98,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugmisdp: unknown family %q\n", *family)
 		os.Exit(2)
 	}
+	mkApp := func() core.App {
+		if *mode == "lp" {
+			return misdp.NewAppLP(inst, 16)
+		}
+		return misdp.NewApp(inst, 16)
+	}
+	// A worker process generates the same instance from the same flags,
+	// presolves it locally, and serves subproblems until termination.
+	if *netConnect != "" {
+		if err := core.RunNetWorker(mkApp(), core.NetRun{
+			Connect: *netConnect, Rank: *rank, Seed: *seed,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("instance %s: %d variables, %d blocks, %d rows\n",
 		inst.Name, inst.M, len(inst.Blocks), len(inst.Rows))
 
@@ -133,13 +153,7 @@ func main() {
 		return
 	}
 
-	var app core.App
-	switch *mode {
-	case "lp":
-		app = misdp.NewAppLP(inst, 16)
-	default:
-		app = misdp.NewApp(inst, 16)
-	}
+	app := mkApp()
 	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer}
 	if *racing || *mode == "hybrid" {
 		cfg.RampUp = ug.RampUpRacing
@@ -150,7 +164,22 @@ func main() {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
-	res, _, err := core.SolveParallel(app, cfg)
+	var res *ug.Result
+	var err error
+	if *netListen != "" || *netProcs > 0 {
+		workerArgs := []string{
+			"-family", *family, "-n", fmt.Sprint(*n), "-k", fmt.Sprint(*k),
+			"-seed", fmt.Sprint(*seed), "-mode", *mode,
+		}
+		res, _, err = core.SolveNetParallel(app, cfg, core.NetRun{
+			Listen:     *netListen,
+			Procs:      *netProcs,
+			WorkerArgs: workerArgs,
+			Seed:       *seed,
+		})
+	} else {
+		res, _, err = core.SolveParallel(app, cfg)
+	}
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = cerr
 	}

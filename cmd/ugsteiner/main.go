@@ -10,6 +10,12 @@
 //	ugsteiner -instance hc6u -workers 16 -racing
 //	ugsteiner -instance bip52u -workers 8 -time 30 -checkpoint run.ckpt
 //	ugsteiner -instance bip52u -workers 8 -restart run.ckpt
+//
+// Distributed (multi-process) mode over the comm/net TCP transport:
+//
+//	ugsteiner -instance hc6u -net-procs 2              # self-spawn 2 workers
+//	ugsteiner -instance hc6u -net-listen :7071 -workers 2   # coordinator
+//	ugsteiner -instance hc6u -net-connect host:7071 -rank 1 # worker
 package main
 
 import (
@@ -39,6 +45,11 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a JSONL coordination-event trace to this file (render with ugtrace)")
 		stats      = flag.Bool("stats", false, "print the full run-statistics and metrics tables")
 		profile    = flag.String("profile", "", "write a CPU profile to this file")
+		netListen  = flag.String("net-listen", "", "run as distributed coordinator: rendezvous address to listen on (host:port, :0 = any)")
+		netConnect = flag.String("net-connect", "", "run as distributed worker: coordinator address to dial")
+		rank       = flag.Int("rank", 0, "this worker's rank (with -net-connect; 1-based)")
+		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
+		seed       = flag.Int64("seed", 1, "seed for the transport's retry jitter")
 	)
 	flag.Parse()
 
@@ -78,6 +89,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A worker process has no output of its own: it presolves its copy of
+	// the instance, serves subproblems, and exits with the coordinator.
+	if *netConnect != "" {
+		if err := core.RunNetWorker(steiner.NewApp(spg), core.NetRun{
+			Connect: *netConnect, Rank: *rank, Seed: *seed,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := ug.Config{
 		Workers:        *workers,
 		TimeLimit:      *timeLimit,
@@ -106,7 +128,25 @@ func main() {
 
 	fmt.Printf("instance %s: %d vertices, %d edges, %d terminals\n",
 		spg.Name, spg.G.AliveVertices(), spg.G.AliveEdges(), spg.NumTerminals())
-	res, factory, err := core.SolveParallel(steiner.NewApp(spg), cfg)
+	var res *ug.Result
+	var factory *core.Factory
+	var err error
+	if *netListen != "" || *netProcs > 0 {
+		workerArgs := []string{"-seed", fmt.Sprint(*seed)}
+		if *file != "" {
+			workerArgs = append(workerArgs, "-file", *file)
+		} else {
+			workerArgs = append(workerArgs, "-instance", *instance)
+		}
+		res, factory, err = core.SolveNetParallel(steiner.NewApp(spg), cfg, core.NetRun{
+			Listen:     *netListen,
+			Procs:      *netProcs,
+			WorkerArgs: workerArgs,
+			Seed:       *seed,
+		})
+	} else {
+		res, factory, err = core.SolveParallel(steiner.NewApp(spg), cfg)
+	}
 	if cerr := cfg.Trace.Close(); cerr != nil && err == nil {
 		err = cerr
 	}

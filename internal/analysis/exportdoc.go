@@ -13,6 +13,7 @@ var ExportDocPackages = []string{
 	"/internal/scip",
 	"/internal/ug",
 	"/internal/ug/comm",
+	"/internal/ug/comm/net",
 	"/internal/core",
 }
 

@@ -47,3 +47,33 @@ func leakSelect(a, b chan int) {
 		}
 	}()
 }
+
+// beatForever is the shape of a transport heartbeat loop that forgot
+// its per-peer stop channel: it waits out each tick and writes a frame,
+// with nothing in the loop naming a way to unwind. The real loop in
+// internal/ug/comm/net selects on the peer's stop channel alongside the
+// ticker.
+func beatForever(tick <-chan int, wire chan<- byte) {
+	for {
+		select {
+		case <-tick:
+			wire <- 0x04
+		}
+	}
+}
+
+func startHeartbeat(tick chan int, wire chan byte) {
+	go beatForever(tick, wire) // WANT goroleak
+}
+
+// admitPeers is a rendezvous accept loop with no shutdown path: every
+// arriving connection is admitted to the roster forever. The real
+// accept loop bounds itself by roster size and a listener deadline.
+func admitPeers(arrivals chan int, roster chan int) {
+	go func() { // WANT goroleak
+		for {
+			c := <-arrivals
+			roster <- c
+		}
+	}()
+}

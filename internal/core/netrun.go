@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/ug"
+	netcomm "repro/internal/ug/comm/net"
+)
+
+// NetRun describes a process's role in a distributed (multi-process)
+// solve over the comm/net transport. Exactly one of the roles applies:
+// a coordinator listens (Listen non-empty, or Procs > 0 for the
+// self-spawning single-machine mode) and a worker dials (Connect
+// non-empty, with a Rank).
+type NetRun struct {
+	// Listen is the coordinator's rendezvous address ("host:port", or
+	// ":0" for an OS-assigned port).
+	Listen string
+	// Connect is the coordinator address a worker process dials.
+	Connect string
+	// Rank is this worker process's rank (1-based).
+	Rank int
+	// Procs, when > 0, makes the coordinator spawn that many worker
+	// processes of its own executable on the local machine — the
+	// single-machine convenience mode. It overrides ug.Config.Workers.
+	Procs int
+	// WorkerArgs are the command-line arguments (instance selection,
+	// mode flags) passed to each self-spawned worker, before the
+	// -net-connect/-rank pair the spawner appends.
+	WorkerArgs []string
+	// Seed seeds the transport's retry jitter.
+	Seed int64
+	// Trace receives a worker's transport events (the coordinator's
+	// tracer is taken from ug.Config.Trace instead). May be nil.
+	Trace *obs.Tracer
+}
+
+// Coordinator reports whether this process plays the coordinator role.
+func (nr NetRun) Coordinator() bool { return nr.Listen != "" || nr.Procs > 0 }
+
+// Worker reports whether this process plays a worker role.
+func (nr NetRun) Worker() bool { return nr.Connect != "" }
+
+// RunNetWorker is a worker process's whole life: presolve the instance
+// locally (each process owns its copy — subproblem payloads, not the
+// model, cross the wire), dial the coordinator, serve subproblems until
+// termination, and hang up. It returns when the coordinator terminates
+// the run or the transport reports the coordinator gone.
+func RunNetWorker(app App, nr NetRun) error {
+	if !nr.Worker() {
+		return fmt.Errorf("core: RunNetWorker needs a -net-connect address")
+	}
+	if nr.Rank < 1 {
+		return fmt.Errorf("core: worker rank must be >= 1, got %d", nr.Rank)
+	}
+	f := NewFactory(app)
+	if _, _, err := f.GlobalPresolve(); err != nil {
+		return fmt.Errorf("core: worker presolve: %w", err)
+	}
+	c, err := netcomm.Dial(nr.Connect, nr.Rank, netcomm.Options{Seed: nr.Seed, Trace: nr.Trace})
+	if err != nil {
+		return err
+	}
+	ug.RunWorker(nr.Rank, c, f, nr.Trace)
+	return c.Close()
+}
+
+// SolveNetParallel is SolveParallel's distributed-coordinator variant:
+// it binds the rendezvous port, optionally self-spawns nr.Procs worker
+// processes (re-invoking this executable with nr.WorkerArgs plus
+// -net-connect/-rank), waits for the full roster, and runs the UG
+// coordination loop over the TCP transport. The transport inherits
+// cfg.Trace and cfg.Metrics, so comm.connect/heartbeat events and
+// transfer-byte counters land in the same trace/stats pipeline as the
+// in-process runs.
+func SolveNetParallel(app App, cfg ug.Config, nr NetRun) (*ug.Result, *Factory, error) {
+	addr := nr.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := netcomm.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nr.Procs > 0 {
+		cfg.Workers = nr.Procs
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+
+	var procs []*exec.Cmd
+	killAll := func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}
+	if nr.Procs > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			_ = ln.Close()
+			return nil, nil, fmt.Errorf("core: self-spawn: %w", err)
+		}
+		for rank := 1; rank <= nr.Procs; rank++ {
+			args := append(append([]string{}, nr.WorkerArgs...),
+				"-net-connect", ln.Addr(), "-rank", strconv.Itoa(rank))
+			cmd := exec.Command(exe, args...)
+			// Workers write nothing in normal operation; route what they
+			// do write (errors) to stderr so the coordinator's stdout
+			// stays machine-readable.
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				killAll()
+				_ = ln.Close()
+				return nil, nil, fmt.Errorf("core: spawn worker %d: %w", rank, err)
+			}
+			procs = append(procs, cmd)
+		}
+	}
+
+	c, err := ln.Rendezvous(cfg.Workers+1, netcomm.Options{
+		Seed:    nr.Seed,
+		Trace:   cfg.Trace,
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		killAll()
+		return nil, nil, fmt.Errorf("core: rendezvous: %w", err)
+	}
+	cfg.Comm = c
+	cfg.RemoteWorkers = true
+
+	f := NewFactory(app)
+	res, err := ug.Run(f, cfg)
+	// Close drains the termination frames to the workers and says
+	// goodbye; the workers exit on their own after that.
+	_ = c.Close()
+	for i, p := range procs {
+		if werr := p.Wait(); werr != nil && err == nil {
+			err = fmt.Errorf("core: worker process %d: %w", i+1, werr)
+		}
+	}
+	return res, f, err
+}

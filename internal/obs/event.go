@@ -74,6 +74,17 @@ const (
 	// KindScipNode is a sequential-solver node event (tick = node count):
 	// Sub = node ID, Dual = node bound, Open = open nodes after the pop.
 	KindScipNode = "scip.node"
+	// KindCommConnect is a distributed-transport peer joining the roster:
+	// Rank = peer, Open = roster size, Str = remote address.
+	KindCommConnect = "comm.connect"
+	// KindCommRetry is a failed dial attempt being retried: Rank = dialing
+	// worker, Open = attempt number, Str = error text.
+	KindCommRetry = "comm.retry"
+	// KindCommHeartbeat is a heartbeat frame sent to a peer: Rank = peer.
+	KindCommHeartbeat = "comm.heartbeat"
+	// KindCommPeerDown is an ungraceful loss of a remote peer: Rank = lost
+	// rank, Str = cause.
+	KindCommPeerDown = "comm.peerdown"
 )
 
 // knownKinds is the closed set cmd/ugtrace validates against.
@@ -86,7 +97,9 @@ var knownKinds = map[string]bool{
 	KindCkptSave: true, KindCkptRestore: true,
 	KindSolverBusy: true, KindSolverIdle: true,
 	KindWorkerShip: true, KindWorkerSol: true,
-	KindScipNode: true,
+	KindScipNode:    true,
+	KindCommConnect: true, KindCommRetry: true,
+	KindCommHeartbeat: true, KindCommPeerDown: true,
 }
 
 // KnownKind reports whether kind is part of the trace schema.

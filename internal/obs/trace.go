@@ -34,8 +34,10 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 // ValidateTrace checks the structural invariants every well-formed trace
 // satisfies: known event kinds, strictly increasing sequence numbers
 // starting at 0, non-decreasing logical ticks, a run.start (or
-// scip.node) opener, and balanced collect-mode brackets. It returns the
-// first violation, or nil. This is the check CI's trace smoke test runs.
+// scip.node, or — in a distributed run, where rendezvous precedes the
+// coordination loop — comm.connect/comm.retry) opener, and balanced
+// collect-mode brackets. It returns the first violation, or nil. This
+// is the check CI's trace smoke test runs.
 func ValidateTrace(events []Event) error {
 	if len(events) == 0 {
 		return fmt.Errorf("obs: empty trace")
@@ -65,7 +67,7 @@ func ValidateTrace(events []Event) error {
 		}
 	}
 	switch events[0].Kind {
-	case KindRunStart, KindScipNode:
+	case KindRunStart, KindScipNode, KindCommConnect, KindCommRetry:
 	default:
 		return fmt.Errorf("obs: trace starts with %q, want %q", events[0].Kind, KindRunStart)
 	}

@@ -3,11 +3,13 @@
 // written once against an abstract communicator and instantiated with a
 // concrete parallelization library — Pthreads/C++11 threads for
 // FiberSCIP-style shared memory, MPI for ParaSCIP-style distributed
-// memory. Here ChannelComm plays the shared-memory role and GobComm the
-// message-serializing (MPI) role: every message crossing a GobComm is
-// gob-encoded to bytes and decoded on the far side, proving that all
-// transferred state (subproblems, solutions, statistics) survives a
-// solver-independent wire format.
+// memory. Here ChannelComm plays the shared-memory role, GobComm the
+// message-serializing (MPI-simulating) role — every message crossing a
+// GobComm is gob-encoded to bytes and decoded on the far side, proving
+// that all transferred state (subproblems, solutions, statistics)
+// survives a solver-independent wire format — and the comm/net
+// subpackage provides NetComm, a real distributed-memory TCP transport
+// where coordinator and workers run as separate OS processes.
 package comm
 
 import (
@@ -15,6 +17,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -22,7 +25,8 @@ import (
 // Tag labels a message with its protocol meaning; the set mirrors the
 // Supervisor/Worker algorithm in the paper (solutionFound, subproblem,
 // status, terminated, startCollecting, stopCollecting, termination) plus
-// the racing ramp-up extensions.
+// the racing ramp-up extensions and the transport-failure notification
+// distributed backends synthesize.
 type Tag int8
 
 // Protocol tags.
@@ -38,12 +42,17 @@ const (
 	TagExtractAll
 	TagStop
 	TagTermination
+	// TagPeerDown is synthesized locally by a distributed transport
+	// (comm/net) when a remote rank disconnects without a graceful
+	// goodbye: From names the lost rank. It never crosses the wire.
+	TagPeerDown
 )
 
 // String names the protocol tag for traces and debugging.
 func (t Tag) String() string {
 	names := [...]string{"subproblem", "racing", "solution", "status", "node",
-		"terminated", "startCollect", "stopCollect", "extractAll", "stop", "termination"}
+		"terminated", "startCollect", "stopCollect", "extractAll", "stop", "termination",
+		"peerDown"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -71,29 +80,35 @@ type Comm interface {
 	TryRecv(rank int) (Message, bool)
 }
 
-// mailbox is an unbounded FIFO with blocking receive. After close,
-// sends are dropped and receivers drain the remaining queue before
-// get reports ok=false.
-type mailbox struct {
+// Mailbox is an unbounded FIFO with blocking receive — the delivery
+// queue behind every communicator in this package and the per-peer
+// outgoing queues of the comm/net transport. After Close, Put drops its
+// message and receivers drain the remaining queue before Get reports
+// ok=false. Exported so transport implementations in subpackages reuse
+// the same lock discipline the -race stress suite pins down.
+type Mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []Message
 	closed bool
 	// depth mirrors len(queue) as an obs gauge (with high-watermark).
 	// Nil when the communicator is not instrumented; Gauge ops on nil
-	// are free no-ops, so put/get pay only a nil check by default. The
+	// are free no-ops, so Put/Get pay only a nil check by default. The
 	// gauge is updated while mb.mu is held, so its value is exactly
 	// len(queue) at every quiescent point.
 	depth *obs.Gauge
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+// NewMailbox creates an empty open mailbox.
+func NewMailbox() *Mailbox {
+	mb := &Mailbox{}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
-func (mb *mailbox) put(m Message) {
+// Put appends m to the queue and wakes one receiver. After Close the
+// message is dropped.
+func (mb *Mailbox) Put(m Message) {
 	mb.mu.Lock()
 	if !mb.closed {
 		mb.queue = append(mb.queue, m)
@@ -103,7 +118,9 @@ func (mb *mailbox) put(m Message) {
 	mb.mu.Unlock()
 }
 
-func (mb *mailbox) get() (Message, bool) {
+// Get blocks until a message is available or the mailbox is closed and
+// drained; ok=false signals the latter.
+func (mb *Mailbox) Get() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for len(mb.queue) == 0 && !mb.closed {
@@ -118,14 +135,8 @@ func (mb *mailbox) get() (Message, bool) {
 	return m, true
 }
 
-func (mb *mailbox) close() {
-	mb.mu.Lock()
-	mb.closed = true
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
-}
-
-func (mb *mailbox) tryGet() (Message, bool) {
+// TryGet returns the head of the queue without blocking.
+func (mb *Mailbox) TryGet() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if len(mb.queue) == 0 {
@@ -137,49 +148,64 @@ func (mb *mailbox) tryGet() (Message, bool) {
 	return m, true
 }
 
-// instrumentBoxes attaches one depth gauge per rank, named
-// "comm.mailbox.depth[rank]". Call before traffic starts: attaching is
-// not synchronized with concurrent put/get.
-func instrumentBoxes(boxes []*mailbox, reg *obs.Registry) {
-	if reg == nil {
-		return
-	}
-	for rank, mb := range boxes {
-		mb.depth = reg.Gauge(fmt.Sprintf("comm.mailbox.depth[%d]", rank))
-	}
+// Close shuts the mailbox: later Puts are dropped and receivers drain
+// the remaining queue before Get reports ok=false.
+func (mb *Mailbox) Close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
 }
 
-// ChannelComm is the shared-memory communicator: messages move by
-// reference between goroutines, the analogue of ug's Pthreads/C++11
-// backends.
-type ChannelComm struct {
-	boxes []*mailbox
+// Closed reports whether Close has been called (messages queued before
+// the close may still be pending).
+func (mb *Mailbox) Closed() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.closed
 }
 
-// NewChannelComm creates a communicator with size ranks.
-func NewChannelComm(size int) *ChannelComm {
-	c := &ChannelComm{boxes: make([]*mailbox, size)}
-	for i := range c.boxes {
-		c.boxes[i] = newMailbox()
+// Depth returns the current queue length.
+func (mb *Mailbox) Depth() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}
+
+// SetDepthGauge attaches (or detaches, with nil) the obs gauge mirroring
+// the queue depth. Attaching is synchronized with concurrent Put/Get;
+// the gauge starts tracking from the current depth.
+func (mb *Mailbox) SetDepthGauge(g *obs.Gauge) {
+	mb.mu.Lock()
+	mb.depth = g
+	mb.depth.Set(int64(len(mb.queue)))
+	mb.mu.Unlock()
+}
+
+// boxSet is the mailbox-backed receive path shared by ChannelComm,
+// GobComm, and (per endpoint) the comm/net transport: one mailbox per
+// rank, blocking Recv with a synthesized termination message after
+// close, non-blocking TryRecv, and per-rank depth instrumentation.
+type boxSet struct {
+	boxes []*Mailbox
+}
+
+func newBoxSet(size int) boxSet {
+	b := boxSet{boxes: make([]*Mailbox, size)}
+	for i := range b.boxes {
+		b.boxes[i] = NewMailbox()
 	}
-	return c
+	return b
 }
 
 // Size implements Comm.
-func (c *ChannelComm) Size() int { return len(c.boxes) }
-
-// Instrument registers per-rank mailbox depth gauges (current depth and
-// high-watermark) in reg. Call before the communicator carries traffic.
-func (c *ChannelComm) Instrument(reg *obs.Registry) { instrumentBoxes(c.boxes, reg) }
-
-// Send implements Comm.
-func (c *ChannelComm) Send(to int, m Message) { c.boxes[to].put(m) }
+func (b boxSet) Size() int { return len(b.boxes) }
 
 // Recv implements Comm. After Close, once the queue is drained Recv
 // returns a synthesized termination message (From = -1,
 // Tag = TagTermination) so blocked receivers unwind.
-func (c *ChannelComm) Recv(rank int) Message {
-	m, ok := c.boxes[rank].get()
+func (b boxSet) Recv(rank int) Message {
+	m, ok := b.boxes[rank].Get()
 	if !ok {
 		return Message{From: -1, Tag: TagTermination}
 	}
@@ -187,16 +213,47 @@ func (c *ChannelComm) Recv(rank int) Message {
 }
 
 // TryRecv implements Comm.
-func (c *ChannelComm) TryRecv(rank int) (Message, bool) { return c.boxes[rank].tryGet() }
+func (b boxSet) TryRecv(rank int) (Message, bool) { return b.boxes[rank].TryGet() }
 
 // Close shuts every mailbox: later sends are dropped and receivers
 // blocked in Recv wake with a synthesized termination message once
 // their queue drains.
-func (c *ChannelComm) Close() {
-	for _, mb := range c.boxes {
-		mb.close()
+func (b boxSet) Close() {
+	for _, mb := range b.boxes {
+		mb.Close()
 	}
 }
+
+// Closed reports whether Close has been called. The coordinator polls it
+// to exit its event loop cleanly when the transport is shut down under a
+// running coordination loop (tests, process teardown).
+func (b boxSet) Closed() bool { return len(b.boxes) > 0 && b.boxes[0].Closed() }
+
+// Instrument registers per-rank mailbox depth gauges (current depth and
+// high-watermark) in reg, named "comm.mailbox.depth[rank]".
+func (b boxSet) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for rank, mb := range b.boxes {
+		mb.SetDepthGauge(reg.Gauge(fmt.Sprintf("comm.mailbox.depth[%d]", rank)))
+	}
+}
+
+// ChannelComm is the shared-memory communicator: messages move by
+// reference between goroutines, the analogue of ug's Pthreads/C++11
+// backends.
+type ChannelComm struct {
+	boxSet
+}
+
+// NewChannelComm creates a communicator with size ranks.
+func NewChannelComm(size int) *ChannelComm {
+	return &ChannelComm{boxSet: newBoxSet(size)}
+}
+
+// Send implements Comm.
+func (c *ChannelComm) Send(to int, m Message) { c.boxes[to].Put(m) }
 
 // GobComm is the simulated distributed-memory communicator: every
 // message is serialized with encoding/gob into a byte buffer on Send and
@@ -205,33 +262,58 @@ func (c *ChannelComm) Close() {
 // shared structures) breaks loudly here, which is the property the tests
 // rely on.
 type GobComm struct {
-	boxes []*mailbox // carry encoded frames in Payload with Tag/From zeroed
+	boxSet
+	sendErrs atomic.Int64
+	errMu    sync.Mutex
+	firstErr error
 }
 
 // NewGobComm creates a gob-serializing communicator with size ranks.
 func NewGobComm(size int) *GobComm {
-	c := &GobComm{boxes: make([]*mailbox, size)}
-	for i := range c.boxes {
-		c.boxes[i] = newMailbox()
-	}
-	return c
+	return &GobComm{boxSet: newBoxSet(size)}
 }
 
-// Size implements Comm.
-func (c *GobComm) Size() int { return len(c.boxes) }
-
-// Instrument registers per-rank mailbox depth gauges (current depth and
-// high-watermark) in reg. Call before the communicator carries traffic.
-func (c *GobComm) Instrument(reg *obs.Registry) { instrumentBoxes(c.boxes, reg) }
-
-// Send implements Comm.
-func (c *GobComm) Send(to int, m Message) {
+// gobEncodeFrame serializes one message into a wire frame. It is a
+// variable so tests can inject the failure modes gob reserves for
+// unregistered or unencodable payload types; encoding a plain Message
+// never fails in production.
+var gobEncodeFrame = func(m Message) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		panic(fmt.Sprintf("comm: gob encode: %v", err))
+		return nil, err
 	}
-	c.boxes[to].put(Message{Payload: buf.Bytes()})
+	return buf.Bytes(), nil
 }
+
+// Send implements Comm. An encode failure is recorded — counted, with
+// the first error retained for Err() — and the message is dropped
+// loudly rather than silently: an undeliverable coordination message
+// otherwise surfaces far from its cause as a distributed hang.
+func (c *GobComm) Send(to int, m Message) {
+	frame, err := gobEncodeFrame(m)
+	if err != nil {
+		c.sendErrs.Add(1)
+		c.errMu.Lock()
+		if c.firstErr == nil {
+			c.firstErr = fmt.Errorf("comm: gob encode %s from %d: %w", m.Tag, m.From, err)
+		}
+		c.errMu.Unlock()
+		return
+	}
+	c.boxes[to].Put(Message{Payload: frame})
+}
+
+// Err returns the first send-side encode error, or nil. SendErrors
+// reports how many messages were dropped; run teardown should treat a
+// non-zero count as a protocol bug.
+func (c *GobComm) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
+}
+
+// SendErrors returns the number of messages dropped by encode failures.
+func (c *GobComm) SendErrors() int64 { return c.sendErrs.Load() }
 
 func decodeFrame(frame Message) Message {
 	var m Message
@@ -245,7 +327,7 @@ func decodeFrame(frame Message) Message {
 // returns a synthesized termination message (From = -1,
 // Tag = TagTermination) so blocked receivers unwind.
 func (c *GobComm) Recv(rank int) Message {
-	frame, ok := c.boxes[rank].get()
+	frame, ok := c.boxes[rank].Get()
 	if !ok {
 		return Message{From: -1, Tag: TagTermination}
 	}
@@ -254,18 +336,9 @@ func (c *GobComm) Recv(rank int) Message {
 
 // TryRecv implements Comm.
 func (c *GobComm) TryRecv(rank int) (Message, bool) {
-	frame, ok := c.boxes[rank].tryGet()
+	frame, ok := c.boxes[rank].TryGet()
 	if !ok {
 		return Message{}, false
 	}
 	return decodeFrame(frame), true
-}
-
-// Close shuts every mailbox: later sends are dropped and receivers
-// blocked in Recv wake with a synthesized termination message once
-// their queue drains.
-func (c *GobComm) Close() {
-	for _, mb := range c.boxes {
-		mb.close()
-	}
 }

@@ -1,6 +1,9 @@
 package comm
 
 import (
+	"bytes"
+	"encoding/gob"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -88,5 +91,50 @@ func TestTagStrings(t *testing.T) {
 	}
 	if Tag(99).String() == "" {
 		t.Fatal("unknown tag should still format")
+	}
+}
+
+// gobUnregistered is an interface-typed envelope whose concrete value is
+// never gob.Register'd — the one encode failure mode gob actually has in
+// this codebase, injected through the gobEncodeFrame seam.
+type gobUnregistered struct{ V interface{} }
+
+type unregisteredPayload struct{ X int }
+
+func TestGobCommSendRecordsEncodeErrors(t *testing.T) {
+	orig := gobEncodeFrame
+	defer func() { gobEncodeFrame = orig }()
+	gobEncodeFrame = func(m Message) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(gobUnregistered{V: unregisteredPayload{X: m.From}}); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	c := NewGobComm(2)
+	c.Send(1, Message{From: 0, Tag: TagSubproblem, Payload: []byte("work")})
+	c.Send(1, Message{From: 0, Tag: TagStatus})
+	if _, ok := c.TryRecv(1); ok {
+		t.Fatal("undeliverable message was delivered anyway")
+	}
+	if got := c.SendErrors(); got != 2 {
+		t.Fatalf("SendErrors = %d, want 2", got)
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("first encode error not retained")
+	}
+	if !strings.Contains(err.Error(), "gob encode") || !strings.Contains(err.Error(), "subproblem") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+	// Recovery: once encoding works again, traffic flows and the error
+	// record stays (it marks a protocol bug to be surfaced at teardown).
+	gobEncodeFrame = orig
+	c.Send(1, Message{From: 0, Tag: TagNode, Payload: []byte("ok")})
+	if m, ok := c.TryRecv(1); !ok || m.Tag != TagNode {
+		t.Fatalf("recovered send lost: %+v ok=%v", m, ok)
+	}
+	if c.SendErrors() != 2 || c.Err() == nil {
+		t.Fatal("error record should persist after recovery")
 	}
 }

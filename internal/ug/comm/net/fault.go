@@ -1,0 +1,68 @@
+package netcomm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ug/comm"
+)
+
+// FaultAction is what a FaultRule does to its matched frame.
+type FaultAction int
+
+// Fault actions, applied in the sender's outgoing loop so injection is
+// deterministic with respect to that endpoint's send order.
+const (
+	// FaultDrop discards the matched frame without sending it.
+	FaultDrop FaultAction = iota
+	// FaultDelay sleeps the rule's Delay before sending the frame.
+	FaultDelay
+	// FaultDuplicate sends the matched frame twice.
+	FaultDuplicate
+	// FaultDisconnect hard-closes the connection (no goodbye) just
+	// before the matched frame would be written — the wire view of a
+	// crashed peer.
+	FaultDisconnect
+)
+
+// FaultRule matches the Nth outgoing data frame carrying Tag (1-based,
+// counted per plan across all peers of the endpoint) and applies Action.
+type FaultRule struct {
+	Tag    comm.Tag
+	Nth    int
+	Action FaultAction
+	Delay  time.Duration // used by FaultDelay
+}
+
+// FaultPlan injects faults into an endpoint's outgoing frames — the
+// test-only seam the partial-failure tests use to pin coordinator
+// behavior (requeue on worker death, no deadlock on disconnect). A nil
+// *FaultPlan is the disabled plan; the match check on it is a nil test.
+type FaultPlan struct {
+	mu     sync.Mutex
+	rules  []FaultRule
+	counts map[comm.Tag]int
+}
+
+// NewFaultPlan builds a plan from rules.
+func NewFaultPlan(rules ...FaultRule) *FaultPlan {
+	return &FaultPlan{rules: rules, counts: map[comm.Tag]int{}}
+}
+
+// match counts one outgoing frame with tag and returns the matching
+// rule, if any. Each counted occurrence matches at most one rule.
+func (p *FaultPlan) match(tag comm.Tag) (FaultRule, bool) {
+	if p == nil {
+		return FaultRule{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts[tag]++
+	n := p.counts[tag]
+	for _, r := range p.rules {
+		if r.Tag == tag && r.Nth == n {
+			return r, true
+		}
+	}
+	return FaultRule{}, false
+}

@@ -1,0 +1,444 @@
+package netcomm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ug/comm"
+)
+
+// quickOpts keeps the tests snappy: short heartbeats, short retries.
+func quickOpts() Options {
+	return Options{
+		HeartbeatEvery:    20 * time.Millisecond,
+		RendezvousTimeout: 10 * time.Second,
+		RetryBase:         2 * time.Millisecond,
+		CloseTimeout:      2 * time.Second,
+	}
+}
+
+// rendezvous assembles a coordinator and size-1 workers over loopback.
+// wOpts[i] configures worker rank i+1 (missing entries use quickOpts).
+func rendezvous(t *testing.T, size int, coOpts Options, wOpts ...Options) (*NetComm, []*NetComm) {
+	t.Helper()
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type coRes struct {
+		c   *NetComm
+		err error
+	}
+	coCh := make(chan coRes, 1)
+	go func() {
+		c, err := ln.Rendezvous(size, coOpts)
+		coCh <- coRes{c, err}
+	}()
+	workers := make([]*NetComm, size-1)
+	for r := 1; r < size; r++ {
+		o := quickOpts()
+		if r-1 < len(wOpts) {
+			o = wOpts[r-1]
+		}
+		w, err := Dial(ln.Addr(), r, o)
+		if err != nil {
+			t.Fatalf("dial rank %d: %v", r, err)
+		}
+		workers[r-1] = w
+	}
+	co := <-coCh
+	if co.err != nil {
+		t.Fatal(co.err)
+	}
+	t.Cleanup(func() {
+		_ = co.c.Close()
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	})
+	return co.c, workers
+}
+
+func TestRendezvousExchange(t *testing.T) {
+	reg := obs.NewRegistry()
+	coOpts := quickOpts()
+	coOpts.Metrics = reg
+	co, workers := rendezvous(t, 3, coOpts)
+	if co.Size() != 3 || co.Rank() != 0 {
+		t.Fatalf("coordinator: size %d rank %d", co.Size(), co.Rank())
+	}
+	for i, w := range workers {
+		if w.Size() != 3 || w.Rank() != i+1 {
+			t.Fatalf("worker %d: size %d rank %d", i, w.Size(), w.Rank())
+		}
+	}
+	// Coordinator → workers.
+	for r := 1; r <= 2; r++ {
+		co.Send(r, comm.Message{From: 0, Tag: comm.TagSubproblem, Payload: []byte{byte(r)}})
+	}
+	for i, w := range workers {
+		m := w.Recv(i + 1)
+		if m.Tag != comm.TagSubproblem || m.From != 0 || m.Payload[0] != byte(i+1) {
+			t.Fatalf("worker %d got %+v", i, m)
+		}
+	}
+	// Workers → coordinator, plus a coordinator self-send.
+	for i, w := range workers {
+		w.Send(0, comm.Message{From: i + 1, Tag: comm.TagStatus})
+	}
+	co.Send(0, comm.Message{From: 0, Tag: comm.TagStop})
+	seen := map[int]bool{}
+	var tags []comm.Tag
+	for len(tags) < 3 {
+		m := co.Recv(0)
+		tags = append(tags, m.Tag)
+		seen[m.From] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("missing senders: %v (tags %v)", seen, tags)
+	}
+	if got := reg.Counter("comm.net.bytes.out").Value(); got <= 0 {
+		t.Fatalf("bytes.out counter not flowing: %d", got)
+	}
+	if got := reg.Counter("comm.net.frames.in").Value(); got < 2 {
+		t.Fatalf("frames.in counter not flowing: %d", got)
+	}
+}
+
+func TestDuplicateRankRejected(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coCh := make(chan error, 1)
+	var co *NetComm
+	go func() {
+		c, err := ln.Rendezvous(3, quickOpts())
+		co = c
+		coCh <- err
+	}()
+	w1, err := Dial(ln.Addr(), 1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+	var rej *RejectedError
+	if _, err := Dial(ln.Addr(), 1, quickOpts()); !errors.As(err, &rej) {
+		t.Fatalf("duplicate rank: got %v, want RejectedError", err)
+	} else if !strings.Contains(rej.Reason, "already joined") {
+		t.Fatalf("reject reason: %q", rej.Reason)
+	}
+	w2, err := Dial(ln.Addr(), 2, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := <-coCh; err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	// Post-rendezvous dials are answered too, not left hanging.
+	if _, err := Dial(ln.Addr(), 2, quickOpts()); !errors.As(err, &rej) {
+		t.Fatalf("late dial: got %v, want RejectedError", err)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coCh := make(chan error, 1)
+	var co *NetComm
+	go func() {
+		c, err := ln.Rendezvous(2, quickOpts())
+		co = c
+		coCh <- err
+	}()
+	// Hand-rolled hello from a build speaking a future protocol version.
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := appendHello(nil, 1)
+	hello[5] = 99 // low byte of the big-endian uint16 version field
+	if err := writeFrame(conn, frameHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	ft, body, err := readFrame(bufio.NewReader(conn))
+	if err != nil || ft != frameReject {
+		t.Fatalf("want reject frame, got type %d err %v", ft, err)
+	}
+	reason, err := decodeReject(body)
+	if err != nil || !strings.Contains(reason, "protocol version") {
+		t.Fatalf("reject reason %q err %v", reason, err)
+	}
+	_ = conn.Close()
+	// The rendezvous is still open for a compatible worker.
+	w, err := Dial(ln.Addr(), 1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := <-coCh; err != nil {
+		t.Fatal(err)
+	}
+	_ = co.Close()
+}
+
+func TestDialRetriesUntilListenerAppears(t *testing.T) {
+	// Reserve a port, release it, and dial it before anyone listens: the
+	// worker must retry (with comm.retry events) until the coordinator
+	// shows up.
+	tmp, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tmp.Addr().String()
+	_ = tmp.Close()
+
+	sink := &obs.MemSink{}
+	wOpts := quickOpts()
+	wOpts.Trace = obs.NewTracer(sink)
+	type dialRes struct {
+		c   *NetComm
+		err error
+	}
+	dialCh := make(chan dialRes, 1)
+	go func() {
+		c, err := Dial(addr, 1, wOpts)
+		dialCh <- dialRes{c, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	co, err := ln.Rendezvous(2, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	w := <-dialCh
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	defer w.c.Close()
+	if retries := sink.Filter(obs.KindCommRetry); len(retries) == 0 {
+		t.Fatal("no comm.retry events for a dial that had to wait")
+	}
+}
+
+func TestRankOutsideRosterIsTerminal(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coCh := make(chan error, 1)
+	var co *NetComm
+	go func() {
+		c, err := ln.Rendezvous(2, quickOpts())
+		co = c
+		coCh <- err
+	}()
+	var rej *RejectedError
+	if _, err := Dial(ln.Addr(), 9, quickOpts()); !errors.As(err, &rej) {
+		t.Fatalf("oversized rank: got %v, want RejectedError", err)
+	}
+	w, err := Dial(ln.Addr(), 1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := <-coCh; err != nil {
+		t.Fatal(err)
+	}
+	_ = co.Close()
+}
+
+// recvWithTimeout guards blocking Recv calls in failure tests so a
+// regression shows up as a test failure, not a suite hang.
+func recvWithTimeout(t *testing.T, c *NetComm, d time.Duration) comm.Message {
+	t.Helper()
+	ch := make(chan comm.Message, 1)
+	go func() { ch <- c.Recv(c.Rank()) }()
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(d):
+		t.Fatalf("rank %d: no message within %v", c.Rank(), d)
+		return comm.Message{}
+	}
+}
+
+func TestAbruptDisconnectSynthesizesPeerDown(t *testing.T) {
+	sink := &obs.MemSink{}
+	coOpts := quickOpts()
+	coOpts.Trace = obs.NewTracer(sink)
+	co, workers := rendezvous(t, 2, coOpts)
+	// Sever the worker's socket without a goodbye — the wire view of a
+	// crashed worker process.
+	for _, p := range workers[0].snapshotPeers() {
+		_ = p.conn.Close()
+	}
+	m := recvWithTimeout(t, co, 5*time.Second)
+	if m.Tag != comm.TagPeerDown || m.From != 1 {
+		t.Fatalf("coordinator got %+v, want peerDown from 1", m)
+	}
+	if co.hasPeer(1) {
+		t.Fatal("dead peer still in roster")
+	}
+	if evs := sink.Filter(obs.KindCommPeerDown); len(evs) == 0 {
+		t.Fatal("no comm.peerdown trace event")
+	}
+	// The worker side sees the same loss and unwinds: first its own
+	// peer-down notice, then mailbox closure.
+	wm := recvWithTimeout(t, workers[0], 5*time.Second)
+	if wm.Tag != comm.TagPeerDown || wm.From != 0 {
+		t.Fatalf("worker got %+v, want peerDown from 0", wm)
+	}
+	tm := recvWithTimeout(t, workers[0], 5*time.Second)
+	if tm.Tag != comm.TagTermination || tm.From != -1 {
+		t.Fatalf("worker got %+v, want synthesized termination", tm)
+	}
+	if !workers[0].Closed() {
+		t.Fatal("worker transport not closed after losing its coordinator")
+	}
+}
+
+func TestHeartbeatTimeoutDeclaresPeerDead(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coOpts := quickOpts()
+	coOpts.HeartbeatEvery = 10 * time.Millisecond
+	coOpts.HeartbeatMiss = 3
+	coCh := make(chan error, 1)
+	var co *NetComm
+	go func() {
+		c, err := ln.Rendezvous(2, coOpts)
+		co = c
+		coCh <- err
+	}()
+	// A hand-rolled worker that completes the handshake and then goes
+	// silent: no heartbeats, no data, but the socket stays open — the
+	// failure TCP alone never reports.
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameHello, appendHello(nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := readFrame(bufio.NewReader(conn)); err != nil || ft != frameWelcome {
+		t.Fatalf("handshake: type %d err %v", ft, err)
+	}
+	if err := <-coCh; err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	m := recvWithTimeout(t, co, 5*time.Second)
+	if m.Tag != comm.TagPeerDown || m.From != 1 {
+		t.Fatalf("got %+v, want peerDown from silent rank 1", m)
+	}
+}
+
+func TestFaultDropDelayDuplicate(t *testing.T) {
+	wOpts := quickOpts()
+	wOpts.Fault = NewFaultPlan(
+		FaultRule{Tag: comm.TagStatus, Nth: 1, Action: FaultDrop},
+		FaultRule{Tag: comm.TagStatus, Nth: 2, Action: FaultDuplicate},
+		FaultRule{Tag: comm.TagStatus, Nth: 3, Action: FaultDelay, Delay: time.Millisecond},
+	)
+	co, workers := rendezvous(t, 2, quickOpts(), wOpts)
+	w := workers[0]
+	for i := byte(1); i <= 3; i++ {
+		w.Send(0, comm.Message{From: 1, Tag: comm.TagStatus, Payload: []byte{i}})
+	}
+	var got []byte
+	for len(got) < 3 {
+		m := recvWithTimeout(t, co, 5*time.Second)
+		if m.Tag != comm.TagStatus {
+			t.Fatalf("unexpected %+v", m)
+		}
+		got = append(got, m.Payload[0])
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]byte{2, 2, 3}) {
+		t.Fatalf("fault plan produced %v, want [2 2 3] (1 dropped, 2 duplicated)", got)
+	}
+}
+
+func TestFaultDisconnectCompletesWithoutDeadlock(t *testing.T) {
+	wOpts := quickOpts()
+	wOpts.Fault = NewFaultPlan(FaultRule{Tag: comm.TagNode, Nth: 1, Action: FaultDisconnect})
+	co, workers := rendezvous(t, 2, quickOpts(), wOpts)
+	w := workers[0]
+	w.Send(0, comm.Message{From: 1, Tag: comm.TagNode, Payload: []byte("boom")})
+	m := recvWithTimeout(t, co, 5*time.Second)
+	if m.Tag != comm.TagPeerDown || m.From != 1 {
+		t.Fatalf("coordinator got %+v, want peerDown from 1", m)
+	}
+	// The injecting side unwinds like a crash too: peer-down notice,
+	// then the synthesized termination of a closed mailbox.
+	if m := recvWithTimeout(t, w, 5*time.Second); m.Tag != comm.TagPeerDown {
+		t.Fatalf("worker got %+v, want peerDown", m)
+	}
+	if m := recvWithTimeout(t, w, 5*time.Second); m.Tag != comm.TagTermination {
+		t.Fatalf("worker got %+v, want synthesized termination", m)
+	}
+}
+
+func TestGracefulCloseDrainsInFlight(t *testing.T) {
+	const n = 200
+	co, workers := rendezvous(t, 2, quickOpts())
+	w := workers[0]
+	for i := 0; i < n; i++ {
+		w.Send(0, comm.Message{From: 1, Tag: comm.TagStatus, Payload: []byte{byte(i)}})
+	}
+	// Close races the send loop's drain on purpose: every queued frame
+	// must still arrive, followed by a goodbye — never a peer-down.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m := recvWithTimeout(t, co, 5*time.Second)
+		if m.Tag != comm.TagStatus || int(m.Payload[0]) != i%256 {
+			t.Fatalf("message %d: got %+v", i, m)
+		}
+	}
+	// Allow the goodbye to land, then verify the departure was graceful.
+	deadline := time.Now().Add(time.Second)
+	for co.hasPeer(1) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if co.hasPeer(1) {
+		t.Fatal("goodbye not processed")
+	}
+	if m, ok := co.TryRecv(0); ok {
+		t.Fatalf("unexpected trailing message %+v", m)
+	}
+}
+
+func TestSendAfterPeerGoneIsCountedDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	coOpts := quickOpts()
+	coOpts.Metrics = reg
+	co, workers := rendezvous(t, 2, coOpts)
+	_ = workers[0].Close()
+	deadline := time.Now().Add(time.Second)
+	for co.hasPeer(1) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	co.Send(1, comm.Message{From: 0, Tag: comm.TagStop})
+	if got := reg.Counter("comm.net.dropped").Value(); got != 1 {
+		t.Fatalf("dropped counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,184 @@
+// Package netcomm implements the distributed-memory TCP transport of
+// the UG communicator abstraction (import path internal/ug/comm/net):
+// the coordinator and each ParaSolver run as separate OS processes on
+// one or many hosts, connected through a length-prefixed deterministic
+// binary wire protocol with a rendezvous handshake, per-peer send
+// loops, heartbeats, and built-in fault injection for tests. It plays
+// the role MPI plays for the paper's ug[SCIP-*, MPI] instantiations.
+//
+// Wire format. Every frame is
+//
+//	uint32 big-endian body length | uint8 frame type | body
+//
+// with five frame types:
+//
+//	data      int32 from | int8 tag | uint32 payload length | payload
+//	hello     uint32 magic | uint16 protocol version | int32 rank
+//	welcome   uint16 protocol version | int32 roster size
+//	reject    uint16 reason length | reason bytes
+//	heartbeat (empty body)
+//	goodbye   (empty body)
+//
+// The encoding has a fixed field order and no reflection, so identical
+// messages encode to identical bytes on every architecture — the same
+// determinism contract the obs trace codec follows, and the reason gob
+// (whose stream format depends on type-registration order) stays off
+// the wire.
+package netcomm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ug/comm"
+)
+
+// ProtocolVersion is the rendezvous protocol version. A coordinator
+// rejects hellos carrying any other version: mixed-build rosters fail
+// at connect time instead of desynchronizing mid-run.
+const ProtocolVersion uint16 = 1
+
+// protocolMagic opens every hello frame ("UGN" + version byte slot);
+// it rejects strangers dialing the rendezvous port by accident.
+const protocolMagic uint32 = 0x55474E31 // "UGN1"
+
+// Frame types.
+const (
+	frameData      byte = 0
+	frameHello     byte = 1
+	frameWelcome   byte = 2
+	frameReject    byte = 3
+	frameHeartbeat byte = 4
+	frameGoodbye   byte = 5
+)
+
+// maxFrameBody bounds one frame body (64 MiB). Subproblem payloads are
+// kilobytes in practice; the cap keeps a corrupt or hostile length
+// prefix from allocating unbounded memory.
+const maxFrameBody = 64 << 20
+
+// AppendMessage appends the deterministic binary encoding of m's data
+// frame body (from, tag, payload) to buf and returns the extended
+// slice. Exported so the codec tests can pin byte-level determinism and
+// cross-check round-trips against GobComm's frame encoding.
+func AppendMessage(buf []byte, m comm.Message) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.From)))
+	buf = append(buf, byte(m.Tag))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	return append(buf, m.Payload...)
+}
+
+// DecodeMessage decodes a data frame body produced by AppendMessage.
+func DecodeMessage(body []byte) (comm.Message, error) {
+	if len(body) < 9 {
+		return comm.Message{}, fmt.Errorf("netcomm: data frame truncated: %d bytes", len(body))
+	}
+	m := comm.Message{
+		From: int(int32(binary.BigEndian.Uint32(body[:4]))),
+		Tag:  comm.Tag(int8(body[4])),
+	}
+	n := binary.BigEndian.Uint32(body[5:9])
+	if uint32(len(body)-9) != n {
+		return comm.Message{}, fmt.Errorf("netcomm: payload length %d != remaining %d", n, len(body)-9)
+	}
+	if n > 0 {
+		m.Payload = append([]byte(nil), body[9:]...)
+	}
+	return m, nil
+}
+
+// appendHello encodes a hello frame body for rank.
+func appendHello(buf []byte, rank int) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, protocolMagic)
+	buf = binary.BigEndian.AppendUint16(buf, ProtocolVersion)
+	return binary.BigEndian.AppendUint32(buf, uint32(int32(rank)))
+}
+
+// decodeHello decodes a hello frame body, returning the announced rank
+// and protocol version. The magic is checked here; version policy is
+// the caller's.
+func decodeHello(body []byte) (rank int, version uint16, err error) {
+	if len(body) != 10 {
+		return 0, 0, fmt.Errorf("netcomm: hello frame is %d bytes, want 10", len(body))
+	}
+	if magic := binary.BigEndian.Uint32(body[:4]); magic != protocolMagic {
+		return 0, 0, fmt.Errorf("netcomm: bad hello magic %#x", magic)
+	}
+	version = binary.BigEndian.Uint16(body[4:6])
+	rank = int(int32(binary.BigEndian.Uint32(body[6:10])))
+	return rank, version, nil
+}
+
+// appendWelcome encodes a welcome frame body carrying the roster size.
+func appendWelcome(buf []byte, size int) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, ProtocolVersion)
+	return binary.BigEndian.AppendUint32(buf, uint32(int32(size)))
+}
+
+// decodeWelcome decodes a welcome frame body.
+func decodeWelcome(body []byte) (size int, err error) {
+	if len(body) != 6 {
+		return 0, fmt.Errorf("netcomm: welcome frame is %d bytes, want 6", len(body))
+	}
+	if v := binary.BigEndian.Uint16(body[:2]); v != ProtocolVersion {
+		return 0, fmt.Errorf("netcomm: welcome protocol version %d, want %d", v, ProtocolVersion)
+	}
+	return int(int32(binary.BigEndian.Uint32(body[2:6]))), nil
+}
+
+// appendReject encodes a reject frame body with a human-readable reason.
+func appendReject(buf []byte, reason string) []byte {
+	if len(reason) > 1<<15 {
+		reason = reason[:1<<15]
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(reason)))
+	return append(buf, reason...)
+}
+
+// decodeReject decodes a reject frame body.
+func decodeReject(body []byte) (string, error) {
+	if len(body) < 2 {
+		return "", fmt.Errorf("netcomm: reject frame truncated")
+	}
+	n := int(binary.BigEndian.Uint16(body[:2]))
+	if len(body)-2 != n {
+		return "", fmt.Errorf("netcomm: reject reason length %d != remaining %d", n, len(body)-2)
+	}
+	return string(body[2:]), nil
+}
+
+// writeFrame writes one frame (length prefix, type byte, body) to w.
+// The caller owns synchronization on w.
+func writeFrame(w io.Writer, ftype byte, body []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = ftype
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame from r, enforcing maxFrameBody.
+func readFrame(r *bufio.Reader) (ftype byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrameBody {
+		return 0, nil, fmt.Errorf("netcomm: frame body %d bytes exceeds limit %d", n, maxFrameBody)
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("netcomm: truncated frame body: %w", err)
+	}
+	return hdr[4], body, nil
+}

@@ -1,0 +1,163 @@
+package netcomm
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ug/comm"
+)
+
+// sampleMessages covers the codec corners: empty and large payloads,
+// negative From (synthesized termination), and every protocol tag.
+func sampleMessages() []comm.Message {
+	msgs := []comm.Message{
+		{From: 0, Tag: comm.TagSubproblem},
+		{From: -1, Tag: comm.TagTermination},
+		{From: 3, Tag: comm.TagSolution, Payload: []byte{0, 1, 2, 254, 255}},
+		{From: 1, Tag: comm.TagNode, Payload: bytes.Repeat([]byte("abc"), 5000)},
+	}
+	for t := comm.TagSubproblem; t <= comm.TagPeerDown; t++ {
+		msgs = append(msgs, comm.Message{From: int(t) + 1, Tag: t, Payload: []byte{byte(t)}})
+	}
+	return msgs
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, want := range sampleMessages() {
+		body := AppendMessage(nil, want)
+		got, err := DecodeMessage(body)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.From != want.From || got.Tag != want.Tag || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestMessageBytesDeterministic(t *testing.T) {
+	m := comm.Message{From: 2, Tag: comm.TagStatus, Payload: []byte("hi")}
+	want := []byte{
+		0, 0, 0, 2, // From, int32 BE
+		byte(comm.TagStatus), // Tag
+		0, 0, 0, 2,           // payload length, uint32 BE
+		'h', 'i',
+	}
+	got := AppendMessage(nil, m)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding changed: got % x want % x", got, want)
+	}
+	if again := AppendMessage(nil, m); !bytes.Equal(got, again) {
+		t.Fatalf("non-deterministic encoding: % x vs % x", got, again)
+	}
+}
+
+func TestDecodeMessageRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeMessage([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	body := AppendMessage(nil, comm.Message{From: 1, Tag: comm.TagNode, Payload: []byte("xyz")})
+	if _, err := DecodeMessage(body[:len(body)-1]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, err := DecodeMessage(append(body, 'z')); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestRoundTripMatchesGobComm pins the shared contract between the two
+// serializing communicators: any message GobComm can carry across its
+// gob frame boundary survives the net codec identically. This is the
+// guard against wire-format drift between the in-process simulation and
+// the real distributed transport.
+func TestRoundTripMatchesGobComm(t *testing.T) {
+	gc := comm.NewGobComm(2)
+	for _, want := range sampleMessages() {
+		gc.Send(1, want)
+		viaGob, ok := gc.TryRecv(1)
+		if !ok {
+			t.Fatalf("GobComm dropped %+v", want)
+		}
+		viaNet, err := DecodeMessage(AppendMessage(nil, want))
+		if err != nil {
+			t.Fatalf("net codec: %v", err)
+		}
+		if viaGob.From != viaNet.From || viaGob.Tag != viaNet.Tag ||
+			!bytes.Equal(viaGob.Payload, viaNet.Payload) {
+			t.Fatalf("codecs disagree: gob %+v net %+v", viaGob, viaNet)
+		}
+	}
+}
+
+func TestHandshakeCodecs(t *testing.T) {
+	rank, ver, err := decodeHello(appendHello(nil, 7))
+	if err != nil || rank != 7 || ver != ProtocolVersion {
+		t.Fatalf("hello round trip: rank %d ver %d err %v", rank, ver, err)
+	}
+	bad := appendHello(nil, 7)
+	bad[0] ^= 0xff
+	if _, _, err := decodeHello(bad); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	size, err := decodeWelcome(appendWelcome(nil, 12))
+	if err != nil || size != 12 {
+		t.Fatalf("welcome round trip: size %d err %v", size, err)
+	}
+	reason, err := decodeReject(appendReject(nil, "rank 1 already joined"))
+	if err != nil || reason != "rank 1 already joined" {
+		t.Fatalf("reject round trip: %q err %v", reason, err)
+	}
+}
+
+func TestFrameReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {1}, bytes.Repeat([]byte{7}, 1000)}
+	for i, b := range bodies {
+		if err := writeFrame(&buf, byte(i), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range bodies {
+		ft, body, err := readFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(ft) != i || !bytes.Equal(body, want) {
+			t.Fatalf("frame %d: type %d body %d bytes", i, ft, len(body))
+		}
+	}
+	// A hostile length prefix must be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, frameData}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFaultPlanMatching(t *testing.T) {
+	plan := NewFaultPlan(
+		FaultRule{Tag: comm.TagStatus, Nth: 2, Action: FaultDrop},
+		FaultRule{Tag: comm.TagNode, Nth: 1, Action: FaultDisconnect},
+	)
+	var hits []FaultAction
+	for i := 0; i < 3; i++ {
+		if r, ok := plan.match(comm.TagStatus); ok {
+			hits = append(hits, r.Action)
+		}
+	}
+	if !reflect.DeepEqual(hits, []FaultAction{FaultDrop}) {
+		t.Fatalf("status matches: %v", hits)
+	}
+	if r, ok := plan.match(comm.TagNode); !ok || r.Action != FaultDisconnect {
+		t.Fatalf("node match: %+v %v", r, ok)
+	}
+	if _, ok := plan.match(comm.TagSolution); ok {
+		t.Fatal("unruled tag matched")
+	}
+	var nilPlan *FaultPlan
+	if _, ok := nilPlan.match(comm.TagStatus); ok {
+		t.Fatal("nil plan matched")
+	}
+}

@@ -16,12 +16,12 @@ func TestMailboxGaugeTracksQueueLength(t *testing.T) {
 	for _, tc := range []struct {
 		name  string
 		mk    func(size int) closableComm
-		boxes func(c closableComm) []*mailbox
+		boxes func(c closableComm) []*Mailbox
 	}{
 		{"ChannelComm", func(size int) closableComm { return NewChannelComm(size) },
-			func(c closableComm) []*mailbox { return c.(*ChannelComm).boxes }},
+			func(c closableComm) []*Mailbox { return c.(*ChannelComm).boxes }},
 		{"GobComm", func(size int) closableComm { return NewGobComm(size) },
-			func(c closableComm) []*mailbox { return c.(*GobComm).boxes }},
+			func(c closableComm) []*Mailbox { return c.(*GobComm).boxes }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			reg := obs.NewRegistry()

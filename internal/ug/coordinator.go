@@ -18,6 +18,12 @@ type Config struct {
 	Workers int       // number of ParaSolvers
 	Comm    comm.Comm // nil: ChannelComm(Workers+1)
 
+	// RemoteWorkers marks the workers as separate OS processes reached
+	// through Comm (a comm/net endpoint): Run then drives only the
+	// coordinator loop and spawns no worker goroutines — each worker
+	// process calls RunWorker against its own endpoint.
+	RemoteWorkers bool
+
 	RampUp          RampUpMode
 	RacingTime      float64 // seconds of racing before a winner is chosen
 	RacingNodeLimit int     // alt criterion: a solver's open nodes reach this
@@ -117,6 +123,7 @@ type coordinator struct {
 	pool    subHeap
 	running map[int]*Subproblem
 	idle    []int
+	dead    map[int]bool // ranks lost to transport failure (TagPeerDown)
 
 	incumbent *Solution
 	nextSubID int64
@@ -190,12 +197,14 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 	}
 
 	var wg sync.WaitGroup
-	for rank := 1; rank <= cfg.Workers; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			runWorker(rank, c, factory, cfg.Trace)
-		}(rank)
+	if !cfg.RemoteWorkers {
+		for rank := 1; rank <= cfg.Workers; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				runWorker(rank, c, factory, cfg.Trace)
+			}(rank)
+		}
 	}
 
 	co := &coordinator{
@@ -203,6 +212,7 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 		comm:        c,
 		factory:     factory,
 		running:     map[int]*Subproblem{},
+		dead:        map[int]bool{},
 		workerBound: map[int]float64{},
 		workerOpen:  map[int]int{},
 		workerNodes: map[int]int64{},
@@ -293,6 +303,13 @@ func (co *coordinator) run() (*Result, error) {
 			co.handle(msg)
 			co.traceDualBound()
 		} else {
+			// An empty mailbox on a closed transport never refills: exit
+			// as an interrupted run instead of spinning forever (tests
+			// and process teardown close the comm under a live loop).
+			if cc, ok := co.comm.(interface{ Closed() bool }); ok && cc.Closed() {
+				co.abortClosed()
+				return co.finalize(), nil
+			}
 			time.Sleep(200 * time.Microsecond)
 		}
 		now := time.Now()
@@ -319,7 +336,34 @@ func (co *coordinator) run() (*Result, error) {
 		if co.finished() {
 			return co.finalize(), nil
 		}
+		if len(co.dead) >= co.cfg.Workers {
+			// Every worker is gone and work remains: nothing can make
+			// progress, so fail loudly rather than hang. The requeued
+			// subproblems are still in the pool (and any checkpoint).
+			return nil, fmt.Errorf("ug: all %d workers lost to transport failure with %d subproblems unsolved",
+				co.cfg.Workers, len(co.pool))
+		}
 	}
+}
+
+// abortClosed winds the run down after the transport was closed under
+// it: every in-flight subproblem returns to the pool as a primitive
+// node so the final statistics (and a checkpoint, if enabled) still
+// cover the whole search, and the result reports an interrupted run.
+func (co *coordinator) abortClosed() {
+	co.stopping = true
+	co.trace.Emit(obs.Event{Kind: obs.KindRunStop, Open: len(co.running)})
+	for _, rank := range co.runningRanks() {
+		if sub := co.running[rank]; sub != nil && (!co.racing || !co.racingRootRequeued) {
+			if co.racing {
+				co.racingRootRequeued = true
+			}
+			co.pushPool(sub)
+		}
+		delete(co.running, rank)
+	}
+	co.racing = false
+	co.windingUp = false
 }
 
 // traceDualBound writes a dual-bound event when the global bound moved
@@ -511,7 +555,16 @@ func (co *coordinator) beginStop() {
 
 // handle processes one incoming message.
 func (co *coordinator) handle(m comm.Message) {
+	// A dead rank's queued solutions and collected nodes are still good
+	// data; its control messages (status, terminated) are not — acting on
+	// them would re-admit the rank to the idle set and strand the next
+	// subproblem dispatched to it.
+	if co.dead[m.From] && m.Tag != comm.TagSolution && m.Tag != comm.TagNode {
+		return
+	}
 	switch m.Tag {
+	case comm.TagPeerDown:
+		co.handlePeerDown(m.From)
 	case comm.TagSolution:
 		var sol Solution
 		dec(m.Payload, &sol)
@@ -603,6 +656,52 @@ func (co *coordinator) handle(m comm.Message) {
 			}
 		}
 		co.idle = append(co.idle, m.From)
+	}
+}
+
+// handlePeerDown absorbs the loss of a worker process (synthesized
+// TagPeerDown from a distributed transport): the rank leaves every
+// roster, its in-flight subproblem returns to the pool as a primitive
+// node, and the run continues on the surviving workers. The run-loop
+// all-dead check turns total loss into an error instead of a hang.
+func (co *coordinator) handlePeerDown(rank int) {
+	if co.dead[rank] {
+		return
+	}
+	co.dead[rank] = true
+	co.trace.Emit(obs.Event{Kind: obs.KindCommPeerDown, Rank: rank})
+	sub := co.running[rank]
+	delete(co.running, rank)
+	delete(co.workerBound, rank)
+	co.workerOpen[rank] = 0
+	for i, r := range co.idle {
+		if r == rank {
+			co.idle = append(co.idle[:i], co.idle[i+1:]...)
+			break
+		}
+	}
+	if t, ok := co.dispatchAt[rank]; ok {
+		co.busy[rank] += time.Since(t)
+		delete(co.dispatchAt, rank)
+	}
+	if co.racing {
+		// Every racer works on the same root: requeue it only when the
+		// search would otherwise lose it — the chosen winner died, or the
+		// last racer is gone.
+		if !co.racingRootRequeued && sub != nil &&
+			(rank == co.winnerRank || len(co.running) == 0) {
+			co.racingRootRequeued = true
+			co.pushPool(sub)
+		}
+		if len(co.running) == 0 {
+			co.racing = false
+			co.windingUp = false
+			co.trace.Emit(obs.Event{Kind: obs.KindRacingDone, Open: len(co.pool)})
+		}
+		return
+	}
+	if sub != nil {
+		co.pushPool(sub)
 	}
 }
 

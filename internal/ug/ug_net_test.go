@@ -1,0 +1,157 @@
+package ug
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ug/comm"
+	netcomm "repro/internal/ug/comm/net"
+)
+
+// distOpts keeps the distributed tests fast: tight heartbeats and
+// retries on loopback.
+func distOpts() netcomm.Options {
+	return netcomm.Options{
+		HeartbeatEvery:    20 * time.Millisecond,
+		RendezvousTimeout: 10 * time.Second,
+		RetryBase:         2 * time.Millisecond,
+		CloseTimeout:      2 * time.Second,
+	}
+}
+
+// runDistributed solves ff over a loopback netcomm roster: the
+// coordinator and each worker get their own endpoint, exactly as the
+// multi-process CLI path wires them (each side presolves its own copy
+// of the instance). wOpts customizes individual workers (fault plans).
+func runDistributed(t *testing.T, ff *fakeFactory, workers int, cfg Config,
+	wOpts map[int]netcomm.Options) (*Result, error) {
+	t.Helper()
+	ln, err := netcomm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for rank := 1; rank <= workers; rank++ {
+		o := distOpts()
+		if ov, ok := wOpts[rank]; ok {
+			ov.HeartbeatEvery = o.HeartbeatEvery
+			ov.RendezvousTimeout = o.RendezvousTimeout
+			ov.RetryBase = o.RetryBase
+			ov.CloseTimeout = o.CloseTimeout
+			o = ov
+		}
+		wg.Add(1)
+		go func(rank int, o netcomm.Options) {
+			defer wg.Done()
+			wc, err := netcomm.Dial(ln.Addr(), rank, o)
+			if err != nil {
+				t.Errorf("worker %d dial: %v", rank, err)
+				return
+			}
+			defer wc.Close()
+			// Worker processes presolve their own instance copy; the
+			// fake factory's presolve is pure so this mirrors that.
+			RunWorker(rank, wc, ff, nil)
+		}(rank, o)
+	}
+	c, err := ln.Rendezvous(workers+1, distOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	cfg.Comm = c
+	cfg.RemoteWorkers = true
+	res, runErr := Run(ff, cfg)
+	_ = c.Close()
+	wg.Wait()
+	return res, runErr
+}
+
+// TestDistributedMatchesChannelComm is the acceptance check for the
+// distributed transport: the same instance solved over loopback TCP
+// endpoints must reach the same final primal and dual bounds as the
+// in-process ChannelComm run.
+func TestDistributedMatchesChannelComm(t *testing.T) {
+	const lo, hi, chunk = 0, 30000, 400
+	inproc, err := Run(&fakeFactory{lo: lo, hi: hi, chunk: chunk},
+		Config{Workers: 2, StatusInterval: 1e-4, ShipInterval: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := runDistributed(t, &fakeFactory{lo: lo, hi: hi, chunk: chunk}, 2,
+		Config{StatusInterval: 1e-4, ShipInterval: 1e-4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.Optimal {
+		t.Fatalf("distributed run not optimal: %+v", dist)
+	}
+	if dist.Obj != inproc.Obj {
+		t.Fatalf("primal bound: distributed %v, in-process %v", dist.Obj, inproc.Obj)
+	}
+	if dist.DualBound != inproc.DualBound {
+		t.Fatalf("dual bound: distributed %v, in-process %v", dist.DualBound, inproc.DualBound)
+	}
+	if want := trueMin(lo, hi); dist.Obj != want {
+		t.Fatalf("distributed obj %v, true min %v", dist.Obj, want)
+	}
+	if dist.Stats.TotalNodes == 0 || dist.Stats.Dispatched == 0 {
+		t.Fatalf("stats did not flow over the wire: %+v", dist.Stats)
+	}
+}
+
+// TestDistributedWorkerDeathRequeues is the FaultPlan acceptance check:
+// the transport of the worker holding the root subproblem (rank 2 —
+// dispatchAll pops the idle stack from the top) hard-disconnects on its
+// 3rd status report, mid-solve with the subproblem in flight. The run
+// must still finish: the coordinator requeues the lost subproblem and
+// the surviving worker completes the search. Completion within the
+// suite timeout is the no-deadlock assertion.
+func TestDistributedWorkerDeathRequeues(t *testing.T) {
+	const lo, hi, chunk = 0, 300000, 300
+	wOpts := map[int]netcomm.Options{
+		2: {Fault: netcomm.NewFaultPlan(netcomm.FaultRule{
+			Tag: comm.TagStatus, Nth: 3, Action: netcomm.FaultDisconnect})},
+	}
+	sink := &obs.MemSink{}
+	res, err := runDistributed(t, &fakeFactory{lo: lo, hi: hi, chunk: chunk}, 2,
+		Config{StatusInterval: 1e-4, ShipInterval: 1e-4, Trace: obs.NewTracer(sink)}, wOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down := sink.Filter(obs.KindCommPeerDown); len(down) == 0 {
+		t.Fatal("fault plan never fired: no comm.peerdown event — test exercised nothing")
+	} else if down[0].Rank != 2 {
+		t.Fatalf("peerdown for rank %d, want 2 (the rank holding the root)", down[0].Rank)
+	}
+	if disp := sink.Filter(obs.KindDispatch); len(disp) < 2 {
+		t.Fatalf("%d dispatches, want ≥ 2 (original + requeued root)", len(disp))
+	}
+	if !res.Optimal {
+		t.Fatalf("run with a dead worker not optimal: %+v", res)
+	}
+	if want := trueMin(lo, hi); res.Obj != want {
+		t.Fatalf("obj %v, true min %v (lost subproblem not requeued?)", res.Obj, want)
+	}
+}
+
+// TestDistributedAllWorkersDeadErrors pins the other half of the
+// failure contract: when every worker is lost the coordinator must
+// terminate with a clear error, never hang.
+func TestDistributedAllWorkersDeadErrors(t *testing.T) {
+	wOpts := map[int]netcomm.Options{
+		1: {Fault: netcomm.NewFaultPlan(netcomm.FaultRule{
+			Tag: comm.TagStatus, Nth: 2, Action: netcomm.FaultDisconnect})},
+	}
+	_, err := runDistributed(t, &fakeFactory{lo: 0, hi: 200000, chunk: 50}, 1,
+		Config{StatusInterval: 1e-4, ShipInterval: 1e-4}, wOpts)
+	if err == nil {
+		t.Fatal("coordinator reported success with all workers dead")
+	}
+	if !strings.Contains(err.Error(), "workers lost") {
+		t.Fatalf("unclear failure: %v", err)
+	}
+}

@@ -86,7 +86,16 @@ func (s *Session) Poll(st StatusReport) Command {
 			s.collectMode = false
 		case comm.TagExtractAll:
 			s.extractAll = true
-		case comm.TagStop, comm.TagTermination:
+		case comm.TagStop, comm.TagTermination, comm.TagPeerDown:
+			// PeerDown on a worker means the coordinator process is gone:
+			// there is nobody to report to, so stop like a TagStop.
+			s.stopped = true
+		}
+	}
+	// A closed transport (coordinator lost, process teardown) delivers
+	// nothing further; keep solving only while someone is listening.
+	if !s.stopped {
+		if cc, ok := s.comm.(interface{ Closed() bool }); ok && cc.Closed() {
 			s.stopped = true
 		}
 	}
@@ -138,11 +147,23 @@ func runWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer) 
 			sess.trace = trace
 			out := solver.Solve(&w.Sub, sess)
 			c.Send(0, comm.Message{From: rank, Tag: comm.TagTerminated, Payload: enc(out)})
-		case comm.TagTermination:
+		case comm.TagTermination, comm.TagPeerDown:
+			// Termination, or the transport reporting the coordinator
+			// process gone — either way this solver's run is over.
 			return
 		case comm.TagStop, comm.TagStartCollect, comm.TagStopCollect, comm.TagSolution:
 			// Stale commands between subproblems: solutions are re-attached
 			// by the coordinator on the next dispatch; ignore the rest.
 		}
 	}
+}
+
+// RunWorker drives one ParaSolver against an arbitrary communicator —
+// the entry point a worker *process* in a distributed (comm/net) run
+// calls after dialing the coordinator. It blocks until the coordinator
+// sends the termination tag or the transport reports the coordinator
+// gone. The factory must be presolved locally first (each process calls
+// GlobalPresolve on its own copy of the instance); trace may be nil.
+func RunWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer) {
+	runWorker(rank, c, factory, trace)
 }
