@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-fix-list race fmt check trace-smoke net-smoke
+.PHONY: build test lint lint-fix-list race fmt check trace-smoke net-smoke profile-smoke
 
 build:
 	go build ./...
@@ -37,10 +37,24 @@ trace-smoke:
 
 # net-smoke exercises the distributed path end to end: the coordinator
 # self-spawns two worker processes, solves a small STP instance over
-# loopback TCP (comm/net transport), and the resulting trace — now
-# containing comm.connect events alongside the coordination events —
-# must validate. Needs a built binary: self-spawn re-invokes argv[0].
+# loopback TCP (comm/net transport), leaving one Lamport-clocked trace
+# per process. Each per-rank trace must validate on its own, the merged
+# causal timeline must pass the cross-rank validator, and every analytics
+# view must render from it. Needs a built binary: self-spawn re-invokes
+# argv[0].
 net-smoke:
 	go build -o /tmp/ugsteiner-net ./cmd/ugsteiner
+	go build -o /tmp/ugtrace-net ./cmd/ugtrace
 	/tmp/ugsteiner-net -instance cc3-4p -net-procs 2 -trace /tmp/ug-net-smoke.trace -stats
-	go run ./cmd/ugtrace -validate /tmp/ug-net-smoke.trace
+	/tmp/ugtrace-net -validate /tmp/ug-net-smoke.trace
+	/tmp/ugtrace-net -validate /tmp/ug-net-smoke.trace.rank1
+	/tmp/ugtrace-net -validate /tmp/ug-net-smoke.trace.rank2
+	/tmp/ugtrace-net -merge -validate /tmp/ug-net-smoke.trace /tmp/ug-net-smoke.trace.rank1 /tmp/ug-net-smoke.trace.rank2
+	/tmp/ugtrace-net -merge -o /tmp/ug-net-smoke.merged /tmp/ug-net-smoke.trace /tmp/ug-net-smoke.trace.rank1 /tmp/ug-net-smoke.trace.rank2
+	/tmp/ugtrace-net -gantt -load -critpath -bounds /tmp/ug-net-smoke.merged
+
+# profile-smoke checks the live profiling side-channel: a solve run with
+# -pprof must answer /statusz and serve a 1-second CPU profile while the
+# solver is working (see scripts/profile_smoke.sh).
+profile-smoke:
+	./scripts/profile_smoke.sh

@@ -43,6 +43,7 @@ func main() {
 		netConnect = flag.String("net-connect", "", "run as distributed worker: coordinator address to dial")
 		rank       = flag.Int("rank", 0, "this worker's rank (with -net-connect; 1-based)")
 		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof plus /statusz (live metrics) on this address during the solve")
 	)
 	flag.Parse()
 
@@ -106,10 +107,18 @@ func main() {
 	}
 	// A worker process generates the same instance from the same flags,
 	// presolves it locally, and serves subproblems until termination.
+	// With -trace it writes its own per-rank JSONL trace for
+	// `ugtrace -merge`; with -pprof it exposes its own debug server.
 	if *netConnect != "" {
-		if err := core.RunNetWorker(mkApp(), core.NetRun{
+		wreg := startDebugServer(*pprofAddr, nil)
+		err := core.RunNetWorker(mkApp(), core.NetRun{
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
-		}); err != nil {
+			Trace: tracer, Metrics: wreg,
+		})
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -149,6 +158,9 @@ func main() {
 			} {
 				fmt.Printf("%-18s  %d\n", row.name, row.value)
 			}
+			ph := solver.Stats.Phases
+			fmt.Printf("%-18s  LP %.3f  relax %.3f  sepa %.3f  heur %.3f  prop %.3f\n",
+				"phase times (s)", ph.LP, ph.Relax, ph.Separation, ph.Heuristics, ph.Propagation)
 		}
 		return
 	}
@@ -160,10 +172,11 @@ func main() {
 		cfg.RacingTime = 0.3
 	}
 	var reg *obs.Registry
-	if *stats {
+	if *stats || *pprofAddr != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
+	startDebugServer(*pprofAddr, reg)
 	var res *ug.Result
 	var err error
 	if *netListen != "" || *netProcs > 0 {
@@ -172,10 +185,11 @@ func main() {
 			"-seed", fmt.Sprint(*seed), "-mode", *mode,
 		}
 		res, _, err = core.SolveNetParallel(app, cfg, core.NetRun{
-			Listen:     *netListen,
-			Procs:      *netProcs,
-			WorkerArgs: workerArgs,
-			Seed:       *seed,
+			Listen:          *netListen,
+			Procs:           *netProcs,
+			WorkerArgs:      workerArgs,
+			Seed:            *seed,
+			WorkerTraceBase: *tracePath,
 		})
 	} else {
 		res, _, err = core.SolveParallel(app, cfg)
@@ -210,6 +224,26 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// startDebugServer starts the -pprof debug endpoint when addr is
+// non-empty and returns the registry its /statusz page serves: reg when
+// one exists, otherwise a fresh registry — so a worker process (which
+// never prints -stats) still exposes live transport metrics. The server
+// lives until process exit.
+func startDebugServer(addr string, reg *obs.Registry) *obs.Registry {
+	if addr == "" {
+		return reg
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ds, err := obs.StartDebugServer(addr, reg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz)\n", ds.Addr())
+	return reg
 }
 
 func fatal(err error) {

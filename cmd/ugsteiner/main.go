@@ -50,6 +50,7 @@ func main() {
 		rank       = flag.Int("rank", 0, "this worker's rank (with -net-connect; 1-based)")
 		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
 		seed       = flag.Int64("seed", 1, "seed for the transport's retry jitter")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof plus /statusz (live metrics) on this address during the solve")
 	)
 	flag.Parse()
 
@@ -91,10 +92,27 @@ func main() {
 
 	// A worker process has no output of its own: it presolves its copy of
 	// the instance, serves subproblems, and exits with the coordinator.
+	// With -trace it writes its own per-rank JSONL trace (the self-spawn
+	// coordinator passes `-trace <base>.rank<N>` automatically) for
+	// `ugtrace -merge`; with -pprof it exposes its own debug server.
 	if *netConnect != "" {
-		if err := core.RunNetWorker(steiner.NewApp(spg), core.NetRun{
+		var wtrace *obs.Tracer
+		if *tracePath != "" {
+			sink, err := obs.NewFileSink(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			wtrace = obs.NewTracer(sink)
+		}
+		wreg := startDebugServer(*pprofAddr, nil)
+		err := core.RunNetWorker(steiner.NewApp(spg), core.NetRun{
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
-		}); err != nil {
+			Trace: wtrace, Metrics: wreg,
+		})
+		if cerr := wtrace.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -121,10 +139,11 @@ func main() {
 		cfg.Trace = obs.NewTracer(sink)
 	}
 	var reg *obs.Registry
-	if *stats {
+	if *stats || *pprofAddr != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
+	startDebugServer(*pprofAddr, reg)
 
 	fmt.Printf("instance %s: %d vertices, %d edges, %d terminals\n",
 		spg.Name, spg.G.AliveVertices(), spg.G.AliveEdges(), spg.NumTerminals())
@@ -139,10 +158,11 @@ func main() {
 			workerArgs = append(workerArgs, "-instance", *instance)
 		}
 		res, factory, err = core.SolveNetParallel(steiner.NewApp(spg), cfg, core.NetRun{
-			Listen:     *netListen,
-			Procs:      *netProcs,
-			WorkerArgs: workerArgs,
-			Seed:       *seed,
+			Listen:          *netListen,
+			Procs:           *netProcs,
+			WorkerArgs:      workerArgs,
+			Seed:            *seed,
+			WorkerTraceBase: *tracePath,
 		})
 	} else {
 		res, factory, err = core.SolveParallel(steiner.NewApp(spg), cfg)
@@ -192,6 +212,26 @@ func report(res *ug.Result, offset float64) {
 	for i, r := range st.IdleRatio {
 		fmt.Printf("idle[%d]  %.1f%%\n", i+1, 100*r)
 	}
+}
+
+// startDebugServer starts the -pprof debug endpoint when addr is
+// non-empty and returns the registry its /statusz page serves: reg when
+// one exists, otherwise a fresh registry — so a worker process (which
+// never prints -stats) still exposes live transport metrics. The server
+// lives until process exit.
+func startDebugServer(addr string, reg *obs.Registry) *obs.Registry {
+	if addr == "" {
+		return reg
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ds, err := obs.StartDebugServer(addr, reg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz)\n", ds.Addr())
+	return reg
 }
 
 func fatal(err error) {

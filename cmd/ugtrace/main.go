@@ -5,6 +5,13 @@
 // built from: the dual/primal bound trajectory, the busy/idle solver
 // timeline, collect-mode intervals, and the racing ladder table.
 //
+// With -merge it joins the per-rank traces of a distributed (-net-procs
+// or -net-listen/-net-connect) run into one causally consistent global
+// timeline, ordered by the Lamport clocks the transport piggybacks on
+// every frame, and checks the cross-rank invariants (every worker event
+// inside its dispatch→outcome window, collected nodes only after they
+// were shipped).
+//
 // Usage:
 //
 //	ugtrace run.trace             # validate + all report sections
@@ -13,9 +20,18 @@
 //	ugtrace -timeline run.trace   # busy/idle solver timeline only
 //	ugtrace -collect run.trace    # collect-mode intervals only
 //	ugtrace -racing run.trace     # racing ladder table only
+//	ugtrace -gantt run.trace      # per-rank busy/idle utilization bars
+//	ugtrace -load run.trace       # CSV of in-flight and open nodes over ticks
+//	ugtrace -critpath run.trace   # longest dispatch→outcome chain + idle attribution
+//
+//	ugtrace -merge run.trace run.trace.rank1 run.trace.rank2   # merged JSONL to stdout
+//	ugtrace -merge -o merged.trace run.trace run.trace.rank*   # merged JSONL to a file
+//	ugtrace -merge -validate run.trace run.trace.rank*         # cross-rank validation only
+//	ugtrace -merge -gantt -critpath run.trace run.trace.rank*  # analytics on the merged timeline
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -32,23 +48,28 @@ func main() {
 		timeline     = flag.Bool("timeline", false, "print the busy/idle solver timeline")
 		collect      = flag.Bool("collect", false, "print collect-mode intervals")
 		racing       = flag.Bool("racing", false, "print the racing ladder table")
+		gantt        = flag.Bool("gantt", false, "print per-rank busy/idle utilization bars")
+		loadCSV      = flag.Bool("load", false, "print a CSV of in-flight and open node counts over ticks")
+		critpath     = flag.Bool("critpath", false, "print the longest dispatch→outcome chain and per-rank idle attribution")
+		merge        = flag.Bool("merge", false, "merge multiple per-rank traces into one causal timeline (Lamport-clock order)")
+		output       = flag.String("o", "", "with -merge: write the merged JSONL trace to this file")
 	)
 	flag.Parse()
+	if *merge {
+		runMerge(*validateOnly, *output, *bounds, *timeline, *collect, *racing, *gantt, *loadCSV, *critpath)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ugtrace [-validate|-bounds|-timeline|-collect|-racing] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: ugtrace [-validate|-bounds|-timeline|-collect|-racing|-gantt|-load|-critpath] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "       ugtrace -merge [-o merged.jsonl] [flags] coord.jsonl rank1.jsonl ...")
 		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	events, err := obs.ReadTrace(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
+	events := readTraceFile(flag.Arg(0))
 	if err := obs.ValidateTrace(events); err != nil {
+		fatal(fmt.Errorf("invalid trace: %w", err))
+	}
+	if err := validateComplete(events); err != nil {
 		fatal(fmt.Errorf("invalid trace: %w", err))
 	}
 	if *validateOnly {
@@ -57,7 +78,7 @@ func main() {
 		return
 	}
 
-	all := !*bounds && !*timeline && !*collect && !*racing
+	all := !*bounds && !*timeline && !*collect && !*racing && !*gantt && !*loadCSV && !*critpath
 	w := os.Stdout
 	if all || *bounds {
 		reportBounds(w, events)
@@ -71,6 +92,150 @@ func main() {
 	if all || *racing {
 		reportRacing(w, events)
 	}
+	if *gantt {
+		reportGantt(w, events)
+	}
+	if *loadCSV {
+		reportLoad(w, events)
+	}
+	if *critpath {
+		reportCritpath(w, events)
+	}
+}
+
+// runMerge is the -merge mode: read every per-rank trace, validate each
+// in isolation, join them into the global Lamport-clock order, validate
+// the cross-rank invariants, and either emit the merged JSONL (to -o or
+// stdout) or run the requested analytics on the merged timeline.
+func runMerge(validateOnly bool, output string, bounds, timeline, collect, racing, gantt, loadCSV, critpath bool) {
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: ugtrace -merge [-o merged.jsonl] [flags] coord.jsonl rank1.jsonl ...")
+		os.Exit(2)
+	}
+	traces := make([][]obs.Event, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		events := readTraceFile(path)
+		if err := obs.ValidateTrace(events); err != nil {
+			fatal(fmt.Errorf("%s: invalid trace: %w", path, err))
+		}
+		if err := validateComplete(events); err != nil {
+			fatal(fmt.Errorf("%s: invalid trace: %w", path, err))
+		}
+		traces = append(traces, events)
+	}
+	merged, err := obs.MergeTraces(traces...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.ValidateMergedTrace(merged); err != nil {
+		fatal(fmt.Errorf("merged trace: %w", err))
+	}
+	if validateOnly {
+		fmt.Printf("ok: merged %d events from %d traces, %d kinds, final clock %d\n",
+			len(merged), len(traces), countKinds(merged), finalTick(merged))
+		return
+	}
+	if output != "" {
+		if err := writeTraceFile(output, merged); err != nil {
+			fatal(err)
+		}
+	}
+	anyReport := bounds || timeline || collect || racing || gantt || loadCSV || critpath
+	if !anyReport {
+		if output == "" {
+			if err := writeTrace(os.Stdout, merged); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	w := os.Stdout
+	if bounds {
+		reportBounds(w, merged)
+	}
+	if timeline {
+		reportTimeline(w, merged)
+	}
+	if collect {
+		reportCollect(w, merged)
+	}
+	if racing {
+		reportRacing(w, merged)
+	}
+	if gantt {
+		reportGantt(w, merged)
+	}
+	if loadCSV {
+		reportLoad(w, merged)
+	}
+	if critpath {
+		reportCritpath(w, merged)
+	}
+}
+
+// readTraceFile loads one JSONL trace, treating a read error — including
+// the partial-trailing-record truncation ReadTrace detects — as fatal.
+func readTraceFile(path string) []obs.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return events
+}
+
+// validateComplete checks run-lifecycle completeness on top of
+// obs.ValidateTrace: a trace that opens a run (run.start) must close it
+// (run.end) — a missing run.end means the writing process died mid-solve
+// or the file was cut short. Worker traces have no run lifecycle (they
+// open with comm.connect) and pass vacuously.
+func validateComplete(events []obs.Event) error {
+	started, ended := false, false
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindRunStart:
+			started = true
+		case obs.KindRunEnd:
+			ended = true
+		}
+	}
+	if started && !ended {
+		return fmt.Errorf("run.start without run.end — the run did not finish (process died or trace cut short)")
+	}
+	return nil
+}
+
+// writeTraceFile writes events as JSONL to path.
+func writeTraceFile(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = writeTrace(f, events)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeTrace streams events as JSONL — the same record layout the
+// tracer's file sink produces, so the output is itself a valid ugtrace
+// input.
+func writeTrace(w io.Writer, events []obs.Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, ev := range events {
+		buf = ev.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func countKinds(events []obs.Event) int {
@@ -118,14 +283,12 @@ func reportBounds(w io.Writer, events []obs.Event) {
 	fmt.Fprintln(w)
 }
 
-// reportTimeline prints per-rank busy/idle intervals in logical time,
-// plus a per-rank utilization summary. Intervals still open when the
-// trace ends are closed at the final tick.
-func reportTimeline(w io.Writer, events []obs.Event) {
-	fmt.Fprintln(w, "=== solver timeline (logical ticks) ===")
-	type span struct{ from, to int64 }
+// busySpans reconstructs per-rank busy intervals from the coordinator's
+// solver.busy/solver.idle events, closing any interval still open at
+// the final tick. Shared by the timeline, gantt, and critpath reports.
+func busySpans(events []obs.Event) (map[int][]tickSpan, int64) {
 	busySince := map[int]int64{}
-	spans := map[int][]span{}
+	spans := map[int][]tickSpan{}
 	end := finalTick(events)
 	for _, e := range events {
 		switch e.Kind {
@@ -133,30 +296,50 @@ func reportTimeline(w io.Writer, events []obs.Event) {
 			busySince[e.Rank] = e.Tick
 		case obs.KindSolverIdle:
 			if from, ok := busySince[e.Rank]; ok {
-				spans[e.Rank] = append(spans[e.Rank], span{from, e.Tick})
+				spans[e.Rank] = append(spans[e.Rank], tickSpan{from, e.Tick})
 				delete(busySince, e.Rank)
 			}
 		}
 	}
 	for rank, from := range busySince {
-		spans[rank] = append(spans[rank], span{from, end})
+		spans[rank] = append(spans[rank], tickSpan{from, end})
 	}
-	ranks := make([]int, 0, len(spans))
-	for rank := range spans {
+	for _, ss := range spans {
+		sort.Slice(ss, func(a, b int) bool { return ss[a].from < ss[b].from })
+	}
+	return spans, end
+}
+
+// tickSpan is a half-open [from,to] interval in logical ticks.
+type tickSpan struct{ from, to int64 }
+
+// sortedRanks returns the keys of a per-rank map in ascending order, so
+// every report walks ranks deterministically.
+func sortedRanks[V any](m map[int]V) []int {
+	ranks := make([]int, 0, len(m))
+	for rank := range m {
 		ranks = append(ranks, rank)
 	}
 	sort.Ints(ranks)
+	return ranks
+}
+
+// reportTimeline prints per-rank busy/idle intervals in logical time,
+// plus a per-rank utilization summary. Intervals still open when the
+// trace ends are closed at the final tick.
+func reportTimeline(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== solver timeline (logical ticks) ===")
+	spans, end := busySpans(events)
+	ranks := sortedRanks(spans)
 	if len(ranks) == 0 {
 		fmt.Fprintln(w, "(no solver busy/idle events)")
 		fmt.Fprintln(w)
 		return
 	}
 	for _, rank := range ranks {
-		ss := spans[rank]
-		sort.Slice(ss, func(a, b int) bool { return ss[a].from < ss[b].from })
 		var busy int64
 		fmt.Fprintf(w, "rank %d:", rank)
-		for _, s := range ss {
+		for _, s := range spans[rank] {
 			fmt.Fprintf(w, " [%d,%d]", s.from, s.to)
 			busy += s.to - s.from
 		}
@@ -166,6 +349,168 @@ func reportTimeline(w io.Writer, events []obs.Event) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
+}
+
+// reportGantt renders the busy/idle timeline as fixed-width utilization
+// bars — one row per rank, '#' where the rank was solving a subproblem
+// and '.' where it sat idle — so a merged distributed trace shows the
+// load balance of the whole run at a glance.
+func reportGantt(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== gantt (per-rank busy/idle) ===")
+	spans, end := busySpans(events)
+	ranks := sortedRanks(spans)
+	if len(ranks) == 0 || end <= 0 {
+		fmt.Fprintln(w, "(no solver busy/idle events)")
+		fmt.Fprintln(w)
+		return
+	}
+	const width = 60
+	for _, rank := range ranks {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = '.'
+		}
+		var busy int64
+		for _, s := range spans[rank] {
+			busy += s.to - s.from
+			lo := int(s.from * width / end)
+			hi := int(s.to * width / end)
+			if hi <= lo {
+				hi = lo + 1 // a short span still shows one cell
+			}
+			for i := lo; i < hi && i < width; i++ {
+				bar[i] = '#'
+			}
+		}
+		fmt.Fprintf(w, "rank %-3d |%s| busy %5.1f%%\n", rank, bar, 100*float64(busy)/float64(end))
+	}
+	fmt.Fprintf(w, "ticks 0..%d, one cell = %.1f ticks\n\n", end, float64(end)/width)
+}
+
+// reportLoad prints a CSV of the solver load over logical time: one row
+// per load-changing event with the number of subproblems in flight
+// (dispatched, outcome pending) and the total open nodes last reported
+// by the workers. Plot tick against either column for the paper's
+// load-over-time figures.
+func reportLoad(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "tick,inflight,open")
+	inflight := 0
+	perRankOpen := map[int]int{}
+	total := 0
+	recompute := func() {
+		total = 0
+		for _, n := range perRankOpen {
+			total += n
+		}
+	}
+	n := 0
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindDispatch:
+			inflight++
+		case obs.KindOutcome:
+			inflight--
+			perRankOpen[e.Rank] = e.Open
+			recompute()
+		case obs.KindStatus:
+			perRankOpen[e.Rank] = e.Open
+			recompute()
+		default:
+			continue
+		}
+		fmt.Fprintf(w, "%d,%d,%d\n", e.Tick, inflight, total)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "ugtrace: warning: no dispatch/outcome/status events for -load")
+	}
+}
+
+// reportCritpath reconstructs the dispatch→outcome intervals (matched
+// per rank in FIFO order — the coordinator keeps at most one subproblem
+// in flight per rank), finds the longest chain of causally ordered
+// intervals by total duration, and attributes idle time per rank. The
+// chain is the run's critical path: the sequence of subproblem solves
+// that bounded the makespan.
+func reportCritpath(w io.Writer, events []obs.Event) {
+	fmt.Fprintln(w, "=== critical path (dispatch→outcome chains) ===")
+	type interval struct {
+		rank     int
+		sub      int64
+		from, to int64
+	}
+	pending := map[int][]interval{}
+	var ivs []interval
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindDispatch:
+			pending[e.Rank] = append(pending[e.Rank], interval{rank: e.Rank, sub: e.Sub, from: e.Tick})
+		case obs.KindOutcome:
+			if q := pending[e.Rank]; len(q) > 0 {
+				iv := q[0]
+				pending[e.Rank] = q[1:]
+				iv.to = e.Tick
+				ivs = append(ivs, iv)
+			}
+		}
+	}
+	if len(ivs) == 0 {
+		fmt.Fprintln(w, "(no completed dispatch→outcome intervals)")
+		fmt.Fprintln(w)
+		return
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].from < ivs[b].from })
+	// Longest chain of non-overlapping (causally ordered) intervals by
+	// total covered ticks; O(n²) is fine at trace sizes.
+	best := make([]int64, len(ivs))
+	prev := make([]int, len(ivs))
+	argmax := 0
+	for i, iv := range ivs {
+		best[i] = iv.to - iv.from
+		prev[i] = -1
+		for j := 0; j < i; j++ {
+			if ivs[j].to <= iv.from && best[j]+iv.to-iv.from > best[i] {
+				best[i] = best[j] + iv.to - iv.from
+				prev[i] = j
+			}
+		}
+		if best[i] > best[argmax] {
+			argmax = i
+		}
+	}
+	var chain []interval
+	for i := argmax; i >= 0; i = prev[i] {
+		chain = append(chain, ivs[i])
+	}
+	for a, b := 0, len(chain)-1; a < b; a, b = a+1, b-1 {
+		chain[a], chain[b] = chain[b], chain[a]
+	}
+	end := finalTick(events)
+	fmt.Fprintf(w, "%d intervals, longest chain %d links covering %d of %d ticks (%.1f%%)\n",
+		len(ivs), len(chain), best[argmax], end, pct(best[argmax], end))
+	for _, iv := range chain {
+		fmt.Fprintf(w, "  rank %-3d sub %-6d ticks [%d,%d] (%d)\n", iv.rank, iv.sub, iv.from, iv.to, iv.to-iv.from)
+	}
+	// Idle attribution: ticks each rank spent without a subproblem in
+	// flight — where extra parallel work could have gone.
+	busy := map[int]int64{}
+	for _, iv := range ivs {
+		busy[iv.rank] += iv.to - iv.from
+	}
+	fmt.Fprintln(w, "idle attribution:")
+	for _, rank := range sortedRanks(busy) {
+		fmt.Fprintf(w, "  rank %-3d busy %d ticks, idle %d ticks (%.1f%% idle)\n",
+			rank, busy[rank], end-busy[rank], pct(end-busy[rank], end))
+	}
+	fmt.Fprintln(w)
+}
+
+// pct renders a/b as a percentage, tolerating b == 0.
+func pct(a, b int64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
 }
 
 // reportCollect prints collect-mode intervals (dynamic load balancing
@@ -218,12 +563,7 @@ func reportRacing(w io.Writer, events []obs.Event) {
 				byRank[e.Rank] = e.Str
 			}
 		case obs.KindRacingWinner:
-			ranks := make([]int, 0, len(byRank))
-			for rank := range byRank {
-				ranks = append(ranks, rank)
-			}
-			sort.Ints(ranks)
-			for _, rank := range ranks {
+			for _, rank := range sortedRanks(byRank) {
 				marker := " "
 				if rank == e.Rank {
 					marker = "*"

@@ -179,6 +179,13 @@ func (w *worker) Solve(sub *ug.Subproblem, sess *ug.Session) ug.Outcome {
 		RootTime:     s.Stats.RootTime,
 		LPIterations: s.Stats.LPIterations,
 		CutsAdded:    s.Stats.CutsAdded,
+		Phases: ug.PhaseTimes{
+			LP:          s.Stats.Phases.LP,
+			Relax:       s.Stats.Phases.Relax,
+			Separation:  s.Stats.Phases.Separation,
+			Heuristics:  s.Stats.Phases.Heuristics,
+			Propagation: s.Stats.Phases.Propagation,
+		},
 	}
 }
 

@@ -37,6 +37,14 @@ type NetRun struct {
 	// Trace receives a worker's transport events (the coordinator's
 	// tracer is taken from ug.Config.Trace instead). May be nil.
 	Trace *obs.Tracer
+	// Metrics receives a worker endpoint's transport counters (the
+	// coordinator's registry is taken from ug.Config.Metrics). May be nil.
+	Metrics *obs.Registry
+	// WorkerTraceBase, when non-empty, makes the self-spawning
+	// coordinator pass each worker `-trace <WorkerTraceBase>.rank<N>`,
+	// so a -net-procs run leaves one JSONL trace per process — the
+	// inputs `ugtrace -merge` joins into a global causal timeline.
+	WorkerTraceBase string
 }
 
 // Coordinator reports whether this process plays the coordinator role.
@@ -61,7 +69,7 @@ func RunNetWorker(app App, nr NetRun) error {
 	if _, _, err := f.GlobalPresolve(); err != nil {
 		return fmt.Errorf("core: worker presolve: %w", err)
 	}
-	c, err := netcomm.Dial(nr.Connect, nr.Rank, netcomm.Options{Seed: nr.Seed, Trace: nr.Trace})
+	c, err := netcomm.Dial(nr.Connect, nr.Rank, netcomm.Options{Seed: nr.Seed, Trace: nr.Trace, Metrics: nr.Metrics})
 	if err != nil {
 		return err
 	}
@@ -107,8 +115,11 @@ func SolveNetParallel(app App, cfg ug.Config, nr NetRun) (*ug.Result, *Factory, 
 			return nil, nil, fmt.Errorf("core: self-spawn: %w", err)
 		}
 		for rank := 1; rank <= nr.Procs; rank++ {
-			args := append(append([]string{}, nr.WorkerArgs...),
-				"-net-connect", ln.Addr(), "-rank", strconv.Itoa(rank))
+			args := append([]string{}, nr.WorkerArgs...)
+			if nr.WorkerTraceBase != "" {
+				args = append(args, "-trace", fmt.Sprintf("%s.rank%d", nr.WorkerTraceBase, rank))
+			}
+			args = append(args, "-net-connect", ln.Addr(), "-rank", strconv.Itoa(rank))
 			cmd := exec.Command(exe, args...)
 			// Workers write nothing in normal operation; route what they
 			// do write (errors) to stderr so the coordinator's stdout

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves Go's net/http/pprof profiling endpoints plus a
+// /statusz page rendering the live metrics registry — the profiling
+// side-channel a long parallel solve exposes without touching the
+// deterministic solve path (everything here is read-only observation).
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060" or ":0") and
+// serves /debug/pprof/* and /statusz in a background goroutine until
+// Close. reg may be nil; /statusz then reports no metrics. A dedicated
+// mux is used rather than http.DefaultServeMux so importing this package
+// never mounts profiling handlers on servers the caller owns.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	start := time.Now()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "uptime_seconds %.1f\n\n", time.Since(start).Seconds())
+		if err := WriteTable(w, reg.Snapshot()); err != nil {
+			return // client went away mid-write; nothing to do
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() {
+		// Serve returns http.ErrServerClosed (or an accept error) once
+		// Close tears the listener down; either way the goroutine exits.
+		_ = d.srv.Serve(d.ln)
+	}()
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and frees the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

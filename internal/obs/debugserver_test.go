@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerStatuszAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("net.tx.frames").Add(42)
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	statusz := get("/statusz")
+	if !strings.Contains(statusz, "uptime_seconds") || !strings.Contains(statusz, "net.tx.frames") {
+		t.Fatalf("statusz missing expected content:\n%s", statusz)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Fatal("pprof index missing profile listing")
+	}
+}
+
+func TestDebugServerNilRegistry(t *testing.T) {
+	ds, err := StartDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz with nil registry: status %d", resp.StatusCode)
+	}
+}

@@ -111,6 +111,11 @@ func KnownKind(kind string) bool { return knownKinds[kind] }
 // use. Wall is seconds since the tracer was created, recorded for human
 // consumption only: two runs of the same seed are expected to agree on
 // every field except Wall.
+// In a distributed run every endpoint additionally stamps events with a
+// Lamport clock (Clock) and its own rank (Orig); see Tracer.EnableCausal.
+// Both are zero — and omitted from the JSON encoding — in single-process
+// runs, so enabling the distributed transport never perturbs the
+// bit-identical-trace property of sequential and ChannelComm solves.
 type Event struct {
 	Seq    int64   `json:"seq"`
 	Tick   int64   `json:"tick"`
@@ -122,6 +127,8 @@ type Event struct {
 	Primal float64 `json:"primal"`
 	Open   int     `json:"open"`
 	Nodes  int64   `json:"nodes"`
+	Clock  int64   `json:"clock,omitempty"`
+	Orig   int     `json:"orig,omitempty"`
 	Str    string  `json:"str,omitempty"`
 }
 
@@ -179,6 +186,14 @@ func (e Event) AppendJSON(buf []byte) []byte {
 	buf = strconv.AppendInt(buf, int64(e.Open), 10)
 	buf = append(buf, `,"nodes":`...)
 	buf = strconv.AppendInt(buf, e.Nodes, 10)
+	if e.Clock != 0 {
+		buf = append(buf, `,"clock":`...)
+		buf = strconv.AppendInt(buf, e.Clock, 10)
+	}
+	if e.Orig != 0 {
+		buf = append(buf, `,"orig":`...)
+		buf = strconv.AppendInt(buf, int64(e.Orig), 10)
+	}
 	if e.Str != "" {
 		buf = append(buf, `,"str":`...)
 		buf = appendJSONString(buf, e.Str)
@@ -338,6 +353,12 @@ func setEventField(e *Event, key, raw string) error {
 		e.Open = int(v)
 	case "nodes":
 		e.Nodes, err = parseI()
+	case "clock":
+		e.Clock, err = parseI()
+	case "orig":
+		var v int64
+		v, err = parseI()
+		e.Orig = int(v)
 	case "str":
 		e.Str = raw
 	default:

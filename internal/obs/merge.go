@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeTraces joins the per-rank JSONL traces of one distributed run
+// into a single causally consistent global timeline. Inputs are the
+// per-process event streams in any order (coordinator + workers); each
+// stream must have been recorded by a tracer in causal mode, i.e. every
+// event carries a Lamport clock > 0.
+//
+// The merged order is the deterministic total order (Clock, Orig,
+// original Seq): Lamport clocks give the causal skeleton — if event a
+// happened-before event b across processes, Clock(a) < Clock(b) — and
+// the (rank, local-seq) tie-break makes the interleaving of concurrent
+// events reproducible byte for byte across repeated merges of the same
+// inputs. The result is re-stamped as one stream: Seq is dense from 0
+// and Tick is the global Lamport clock (the per-process seq/tick
+// counters are process-local and meaningless across ranks).
+func MergeTraces(traces ...[]Event) ([]Event, error) {
+	var out []Event
+	seen := map[[2]int64]bool{} // (orig, local seq) — catches merging one rank's file twice
+	for ti, tr := range traces {
+		for i, ev := range tr {
+			if ev.Clock <= 0 {
+				return nil, fmt.Errorf("obs: input %d event %d (%s) has no Lamport clock — not a distributed trace; merge needs per-rank traces from a net run", ti, i, ev.Kind)
+			}
+			key := [2]int64{int64(ev.Orig), ev.Seq}
+			if seen[key] {
+				return nil, fmt.Errorf("obs: input %d event %d duplicates (orig %d, seq %d) — same rank's trace given twice?", ti, i, ev.Orig, ev.Seq)
+			}
+			seen[key] = true
+			out = append(out, ev)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obs: nothing to merge")
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Clock != b.Clock {
+			return a.Clock < b.Clock
+		}
+		if a.Orig != b.Orig {
+			return a.Orig < b.Orig
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range out {
+		out[i].Seq = int64(i)
+		out[i].Tick = out[i].Clock
+	}
+	return out, nil
+}
+
+// ValidateMergedTrace checks the cross-rank invariants of a merged
+// distributed trace on top of the single-stream ValidateTrace checks:
+//
+//   - every event carries a Lamport clock and Tick == Clock (the merge
+//     re-stamps ticks with the global clock);
+//   - the stream is sorted by the merge's (Clock, Orig) key and each
+//     origin's clocks are strictly increasing (a process's own events
+//     are totally ordered);
+//   - every dispatch happens-before its outcome (inherited from
+//     ValidateTrace's in-flight pairing, which after the merge holds in
+//     causal rather than merely file order);
+//   - worker-side ship/solution events land inside the dispatch→outcome
+//     window of their origin rank — a worker only works when the
+//     coordinator believes it does;
+//   - collect intervals balance globally: collect brackets are emitted
+//     by exactly one process (the coordinator), and every shipped
+//     collect.node is received after the origin worker announced the
+//     ship (causal consistency of the load-balancing channel).
+func ValidateMergedTrace(events []Event) error {
+	if err := ValidateTrace(events); err != nil {
+		return err
+	}
+	lastClock := map[int]int64{} // per-origin Lamport clock high-water
+	inflight := map[int]int{}    // rank → dispatched-but-unresolved subproblems
+	ships := map[int]int{}       // rank → announced-but-unreceived node ships
+	collectOrig := -1
+	for i, ev := range events {
+		if ev.Clock <= 0 {
+			return fmt.Errorf("obs: event %d (%s): no Lamport clock in merged trace", i, ev.Kind)
+		}
+		if ev.Tick != ev.Clock {
+			return fmt.Errorf("obs: event %d (%s): tick %d != clock %d after merge", i, ev.Kind, ev.Tick, ev.Clock)
+		}
+		if i > 0 {
+			prev := events[i-1]
+			if ev.Clock < prev.Clock || (ev.Clock == prev.Clock && ev.Orig < prev.Orig) {
+				return fmt.Errorf("obs: event %d: (clock %d, orig %d) sorts before predecessor (clock %d, orig %d)", i, ev.Clock, ev.Orig, prev.Clock, prev.Orig)
+			}
+		}
+		if ev.Clock <= lastClock[ev.Orig] {
+			return fmt.Errorf("obs: event %d: origin %d clock %d not strictly increasing (last %d)", i, ev.Orig, ev.Clock, lastClock[ev.Orig])
+		}
+		lastClock[ev.Orig] = ev.Clock
+		switch ev.Kind {
+		case KindDispatch:
+			inflight[ev.Rank]++
+		case KindOutcome:
+			inflight[ev.Rank]--
+		case KindWorkerShip, KindWorkerSol:
+			if inflight[ev.Orig] <= 0 {
+				return fmt.Errorf("obs: event %d: %s from rank %d outside any dispatch→outcome window", i, ev.Kind, ev.Orig)
+			}
+			if ev.Kind == KindWorkerShip {
+				ships[ev.Orig]++
+			}
+		case KindCollectNode:
+			if ships[ev.Rank] <= 0 {
+				return fmt.Errorf("obs: event %d: collect.node from rank %d before that rank announced a ship", i, ev.Rank)
+			}
+			ships[ev.Rank]--
+		case KindCollectStart, KindCollectStop:
+			if collectOrig == -1 {
+				collectOrig = ev.Orig
+			} else if ev.Orig != collectOrig {
+				return fmt.Errorf("obs: event %d: %s from origin %d, but collect brackets belong to origin %d", i, ev.Kind, ev.Orig, collectOrig)
+			}
+		}
+	}
+	return nil
+}

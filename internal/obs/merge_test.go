@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The pinned fixture: per-rank traces of a tiny 3-process run
+// (coordinator = origin 0, workers = origins 1 and 2), with Lamport
+// clocks consistent with the message flow — dispatches happen-before
+// the workers' ship/solution events, which happen-before the
+// coordinator's collect.node and outcomes.
+const (
+	fixtureCoord = `{"seq":0,"tick":0,"wall":0,"kind":"run.start","rank":0,"sub":0,"dual":0,"primal":0,"open":2,"nodes":0,"clock":1}
+{"seq":1,"tick":1,"wall":0.01,"kind":"dispatch","rank":1,"sub":1,"dual":-5,"primal":0,"open":0,"nodes":0,"clock":2}
+{"seq":2,"tick":2,"wall":0.02,"kind":"dispatch","rank":2,"sub":2,"dual":-4,"primal":0,"open":0,"nodes":0,"clock":3}
+{"seq":3,"tick":3,"wall":0.05,"kind":"collect.start","rank":0,"sub":0,"dual":0,"primal":0,"open":1,"nodes":0,"clock":8}
+{"seq":4,"tick":4,"wall":0.06,"kind":"collect.node","rank":1,"sub":3,"dual":-3,"primal":0,"open":0,"nodes":0,"clock":9}
+{"seq":5,"tick":5,"wall":0.07,"kind":"collect.stop","rank":0,"sub":0,"dual":0,"primal":0,"open":2,"nodes":0,"clock":10}
+{"seq":6,"tick":6,"wall":0.08,"kind":"outcome","rank":1,"sub":0,"dual":0,"primal":0,"open":0,"nodes":4,"clock":11,"str":"completed"}
+{"seq":7,"tick":7,"wall":0.09,"kind":"outcome","rank":2,"sub":0,"dual":0,"primal":0,"open":0,"nodes":3,"clock":12,"str":"completed"}
+{"seq":8,"tick":8,"wall":0.1,"kind":"run.end","rank":0,"sub":0,"dual":7,"primal":7,"open":0,"nodes":7,"clock":13}
+`
+	fixtureRank1 = `{"seq":0,"tick":0,"wall":0,"kind":"comm.connect","rank":1,"sub":0,"dual":0,"primal":0,"open":3,"nodes":0,"clock":4,"orig":1}
+{"seq":1,"tick":1,"wall":0.03,"kind":"worker.ship","rank":1,"sub":0,"dual":-3,"primal":0,"open":1,"nodes":0,"clock":5,"orig":1}
+{"seq":2,"tick":2,"wall":0.04,"kind":"worker.sol","rank":1,"sub":0,"dual":0,"primal":7,"open":0,"nodes":0,"clock":6,"orig":1}
+`
+	fixtureRank2 = `{"seq":0,"tick":0,"wall":0,"kind":"comm.connect","rank":2,"sub":0,"dual":0,"primal":0,"open":3,"nodes":0,"clock":4,"orig":2}
+{"seq":1,"tick":1,"wall":0.05,"kind":"worker.sol","rank":2,"sub":0,"dual":0,"primal":7,"open":0,"nodes":0,"clock":7,"orig":2}
+`
+)
+
+func fixtureTraces(t *testing.T) [][]Event {
+	t.Helper()
+	var out [][]Event
+	for _, raw := range []string{fixtureCoord, fixtureRank1, fixtureRank2} {
+		evs, err := ReadTrace(strings.NewReader(raw))
+		if err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		if err := ValidateTrace(evs); err != nil {
+			t.Fatalf("fixture invalid per-stream: %v", err)
+		}
+		out = append(out, evs)
+	}
+	return out
+}
+
+func TestMergeTracesOrdersAndRestamps(t *testing.T) {
+	traces := fixtureTraces(t)
+	merged, err := MergeTraces(traces...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMergedTrace(merged); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	want := 9 + 3 + 2
+	if len(merged) != want {
+		t.Fatalf("merged %d events, want %d", len(merged), want)
+	}
+	for i, ev := range merged {
+		if ev.Seq != int64(i) {
+			t.Fatalf("event %d: seq %d not re-stamped dense", i, ev.Seq)
+		}
+		if ev.Tick != ev.Clock {
+			t.Fatalf("event %d: tick %d != clock %d", i, ev.Tick, ev.Clock)
+		}
+	}
+	// Causal spine: dispatch to rank 1 < rank 1's ship < the
+	// coordinator's collect.node, and the equal-clock comm.connects
+	// tie-break by origin.
+	idx := map[string]int{}
+	for i, ev := range merged {
+		idx[ev.Kind+"/"+itoa(ev.Orig)+"/"+itoa(ev.Rank)] = i
+	}
+	if !(idx["dispatch/0/1"] < idx["worker.ship/1/1"] && idx["worker.ship/1/1"] < idx["collect.node/0/1"]) {
+		t.Fatalf("causal order broken: %v", idx)
+	}
+	if idx["comm.connect/1/1"] > idx["comm.connect/2/2"] {
+		t.Fatal("equal-clock events not tie-broken by origin")
+	}
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }
+
+func TestMergeRepeatedMergesByteIdentical(t *testing.T) {
+	serialize := func(evs []Event) []byte {
+		var buf []byte
+		for _, ev := range evs {
+			buf = ev.AppendJSON(buf)
+			buf = append(buf, '\n')
+		}
+		return buf
+	}
+	traces := fixtureTraces(t)
+	a, err := MergeTraces(traces[0], traces[1], traces[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same inputs again — MergeTraces must not have mutated them.
+	b, err := MergeTraces(traces[0], traces[1], traces[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And in a different argument order: the (clock, orig, seq) key is a
+	// total order, so the byte stream must not depend on input order.
+	c, err := MergeTraces(traces[2], traces[0], traces[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb, sc := serialize(a), serialize(b), serialize(c)
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("repeated merge differs:\n%s\n---\n%s", sa, sb)
+	}
+	if !bytes.Equal(sa, sc) {
+		t.Fatalf("input-order-dependent merge:\n%s\n---\n%s", sa, sc)
+	}
+}
+
+func TestMergeTracesRejectsBadInputs(t *testing.T) {
+	traces := fixtureTraces(t)
+	if _, err := MergeTraces(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	// A single-process trace has no Lamport clocks.
+	plain := []Event{{Seq: 0, Kind: KindRunStart}}
+	if _, err := MergeTraces(plain); err == nil {
+		t.Error("clockless trace accepted")
+	}
+	// The same rank's file twice.
+	if _, err := MergeTraces(traces[0], traces[1], traces[1]); err == nil {
+		t.Error("duplicate trace accepted")
+	}
+}
+
+func TestValidateMergedTraceCatchesCrossRankViolations(t *testing.T) {
+	merge := func() []Event {
+		m, err := MergeTraces(fixtureTraces(t)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	find := func(evs []Event, kind string, orig int) int {
+		for i, ev := range evs {
+			if ev.Kind == kind && ev.Orig == orig {
+				return i
+			}
+		}
+		t.Fatalf("no %s from origin %d", kind, orig)
+		return -1
+	}
+
+	if err := ValidateMergedTrace(merge()); err != nil {
+		t.Fatalf("valid merged trace rejected: %v", err)
+	}
+
+	// Tick no longer mirroring the clock.
+	bad := merge()
+	bad[3].Tick++
+	if err := ValidateMergedTrace(bad); err == nil {
+		t.Error("tick != clock accepted")
+	}
+
+	// A worker shipping outside its dispatch→outcome window: move rank
+	// 1's ship before the dispatch by giving it a smaller clock.
+	bad = merge()
+	i := find(bad, KindWorkerShip, 1)
+	bad[i].Clock = 1
+	bad[i].Tick = 1
+	// Re-merge to restore sort order, then the window check must fire.
+	resorted, err := MergeTraces(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMergedTrace(resorted); err == nil {
+		t.Error("ship outside dispatch window accepted")
+	}
+
+	// A collect.node with no announced ship: drop the worker.ship event.
+	bad = merge()
+	i = find(bad, KindWorkerShip, 1)
+	bad = append(bad[:i], bad[i+1:]...)
+	for j := range bad {
+		bad[j].Seq = int64(j)
+	}
+	if err := ValidateMergedTrace(bad); err == nil {
+		t.Error("collect.node without ship accepted")
+	}
+
+	// An origin whose clocks are not strictly increasing.
+	bad = merge()
+	i = find(bad, KindWorkerSol, 1)
+	bad[i].Clock = bad[i-1].Clock
+	bad[i].Tick = bad[i].Clock
+	if err := ValidateMergedTrace(bad); err == nil {
+		t.Error("non-increasing per-origin clock accepted")
+	}
+}

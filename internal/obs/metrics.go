@@ -129,10 +129,46 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed samples
+// by linear interpolation inside the bucket holding the target rank —
+// the usual bucketed-histogram estimate, exact only at bucket edges.
+// Samples landing in the +Inf overflow bucket are reported as the
+// largest finite bound (the estimate saturates there). Returns 0 on the
+// nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum int64
+	for i, cnt := range h.counts {
+		prev := cum
+		cum += cnt
+		if float64(cum) < target || cnt == 0 {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf overflow bucket: no finite upper edge
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*(target-float64(prev))/float64(cnt)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Metric is one snapshotted value for table rendering.
 type Metric struct {
 	Name  string
-	Kind  string // "counter", "gauge", "gauge.hw", "hist.count", "hist.mean"
+	Kind  string // "counter", "gauge", "gauge.hw", "hist.count", "hist.mean", "hist.p50/p95/p99"
 	Value float64
 }
 
@@ -223,6 +259,9 @@ func (r *Registry) Snapshot() []Metric {
 		out = append(out, Metric{Name: name, Kind: "hist.count", Value: float64(h.Count())})
 		if n := h.Count(); n > 0 {
 			out = append(out, Metric{Name: name, Kind: "hist.mean", Value: h.Sum() / float64(n)})
+			out = append(out, Metric{Name: name, Kind: "hist.p50", Value: h.Quantile(0.50)})
+			out = append(out, Metric{Name: name, Kind: "hist.p95", Value: h.Quantile(0.95)})
+			out = append(out, Metric{Name: name, Kind: "hist.p99", Value: h.Quantile(0.99)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

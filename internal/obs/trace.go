@@ -2,47 +2,62 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 )
 
 // ReadTrace decodes a JSONL trace stream into events, in file order.
-// Decoding stops at the first malformed line.
+// Decoding stops at the first malformed line. A final line that is not
+// newline-terminated is reported as an error even when it parses: every
+// sink ends each record with '\n', so a missing terminator means the
+// writer died mid-record and the trace is truncated. The events decoded
+// before the error are returned alongside it so callers can report how
+// far the stream was readable.
 func ReadTrace(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	br := bufio.NewReaderSize(r, 1<<16)
 	var out []Event
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return out, err
 		}
-		ev, err := ParseLine(raw)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+		partial := err == io.EOF && len(raw) > 0
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) > 0 {
+			line++
+			if partial {
+				return out, fmt.Errorf("obs: line %d: partial trailing record (%d bytes, no newline) — trace truncated mid-write", line, len(raw))
+			}
+			ev, perr := ParseLine(trimmed)
+			if perr != nil {
+				return out, fmt.Errorf("line %d: %w", line, perr)
+			}
+			out = append(out, ev)
 		}
-		out = append(out, ev)
+		if err == io.EOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // ValidateTrace checks the structural invariants every well-formed trace
 // satisfies: known event kinds, strictly increasing sequence numbers
 // starting at 0, non-decreasing logical ticks, a run.start (or
 // scip.node, or — in a distributed run, where rendezvous precedes the
-// coordination loop — comm.connect/comm.retry) opener, and balanced
-// collect-mode brackets. It returns the first violation, or nil. This
-// is the check CI's trace smoke test runs.
+// coordination loop — comm.connect/comm.retry) opener, balanced
+// collect-mode brackets, and dispatch/outcome pairing per rank (an
+// outcome may only arrive from a rank with a subproblem in flight; an
+// unmatched trailing dispatch is legal — it is what a worker-death or
+// limit-stop trace looks like). It returns the first violation, or nil.
+// This is the check CI's trace smoke test runs.
 func ValidateTrace(events []Event) error {
 	if len(events) == 0 {
 		return fmt.Errorf("obs: empty trace")
 	}
 	collectDepth := 0
+	inflight := map[int]int{} // rank → dispatched-but-unresolved subproblems
 	for i, ev := range events {
 		if !KnownKind(ev.Kind) {
 			return fmt.Errorf("obs: event %d: unknown kind %q", i, ev.Kind)
@@ -64,6 +79,13 @@ func ValidateTrace(events []Event) error {
 			if collectDepth < 0 {
 				return fmt.Errorf("obs: event %d: collect.stop without collect.start", i)
 			}
+		case KindDispatch:
+			inflight[ev.Rank]++
+		case KindOutcome:
+			if inflight[ev.Rank] == 0 {
+				return fmt.Errorf("obs: event %d: outcome from rank %d without a dispatch in flight", i, ev.Rank)
+			}
+			inflight[ev.Rank]--
 		}
 	}
 	switch events[0].Kind {

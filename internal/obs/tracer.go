@@ -39,6 +39,16 @@ type Tracer struct {
 	seq   int64
 	tick  atomic.Int64
 	start time.Time
+
+	// Causal mode (distributed runs only; see EnableCausal): every Emit
+	// advances a Lamport clock and stamps the event with it plus the
+	// endpoint's rank, and the transport weaves per-process clocks into
+	// one happens-before order by piggybacking the clock on every data
+	// frame (ClockSend on the sender, ClockRecv on the receiver). All
+	// three fields are guarded by mu.
+	causal bool
+	orig   int
+	clock  int64
 }
 
 // NewTracer creates a tracer writing to sink. A nil sink yields the
@@ -86,7 +96,62 @@ func (t *Tracer) Emit(ev Event) {
 	t.seq++
 	ev.Tick = t.tick.Load()
 	ev.Wall = time.Since(t.start).Seconds()
+	if t.causal {
+		t.clock++
+		ev.Clock = t.clock
+		ev.Orig = t.orig
+	}
 	t.sink.Emit(ev) //lint:ignore lockblock Tracer structurally satisfies Sink, but NewTracer never wraps one; real sinks append to memory or a bufio buffer and take no tracer lock
+	t.mu.Unlock()
+}
+
+// EnableCausal switches the tracer into distributed (causal) mode: every
+// subsequent event carries a Lamport clock and origin = the endpoint's
+// comm rank. The distributed transport calls this once per endpoint when
+// the connection is established; single-process runs never enable it, so
+// their traces stay bit-identical to pre-causal ones (Clock/Orig encode
+// only when set). Safe on the nil tracer.
+func (t *Tracer) EnableCausal(origin int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.causal = true
+	t.orig = origin
+	t.mu.Unlock()
+}
+
+// ClockSend advances the Lamport clock for an outgoing message and
+// returns the value to piggyback on the wire frame. Send events on the
+// wire are clock events: any event the sender emitted before the Send
+// call has a strictly smaller clock. Returns 0 when the tracer is nil or
+// not in causal mode (the frame then carries no causal information).
+func (t *Tracer) ClockSend() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.causal {
+		return 0
+	}
+	t.clock++
+	return t.clock
+}
+
+// ClockRecv merges a remote Lamport clock carried by an incoming frame:
+// the local clock becomes max(local, remote), so every event emitted
+// after the receive is causally ordered after every event the sender
+// emitted before the send. Safe on the nil tracer; remote values ≤ 0
+// (non-causal peers) are ignored.
+func (t *Tracer) ClockRecv(remote int64) {
+	if t == nil || remote <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if remote > t.clock {
+		t.clock = remote
+	}
 	t.mu.Unlock()
 }
 

@@ -58,7 +58,36 @@ type Stats struct {
 	RootBound    float64
 	DeadEnds     int64 // nodes abandoned without proof (should stay 0)
 	PropFixings  int64
+	Phases       PhaseTimes
 }
+
+// PhaseTimes is the wall-clock seconds a solve spent per solver phase —
+// the breakdown behind the paper's "where does the time go" analyses.
+// Phase times are diagnostics only: the solver writes them but never
+// reads them, so recording wall time here cannot perturb deterministic
+// replay (the same contract obs.Event.Wall follows).
+type PhaseTimes struct {
+	Presolve    float64
+	LP          float64
+	Relax       float64 // relaxators (e.g. the SDP relaxation)
+	Separation  float64
+	Heuristics  float64
+	Propagation float64
+}
+
+// Add accumulates q into p.
+func (p *PhaseTimes) Add(q PhaseTimes) {
+	p.Presolve += q.Presolve
+	p.LP += q.LP
+	p.Relax += q.Relax
+	p.Separation += q.Separation
+	p.Heuristics += q.Heuristics
+	p.Propagation += q.Propagation
+}
+
+// phaseAdd accumulates the wall time since start into *acc; used as
+// `defer phaseAdd(&s.Stats.Phases.X, time.Now())` around a phase block.
+func phaseAdd(acc *float64, start time.Time) { *acc += time.Since(start).Seconds() }
 
 // Solver is one branch-and-bound solver instance over a presolved Prob.
 type Solver struct {
@@ -466,21 +495,30 @@ func (s *Solver) processNode(n *Node) {
 	}
 
 	// Domain propagation rounds.
-	for round := 0; round < s.Set.PropRounds; round++ {
-		changed := false
-		for _, prop := range s.Plug.Propagators {
-			res := prop.Propagate(ctx)
-			if ctx.infeasible {
-				finishRoot()
-				return
+	if len(s.Plug.Propagators) > 0 {
+		infeasible := func() bool {
+			defer phaseAdd(&s.Stats.Phases.Propagation, time.Now())
+			for round := 0; round < s.Set.PropRounds; round++ {
+				changed := false
+				for _, prop := range s.Plug.Propagators {
+					res := prop.Propagate(ctx)
+					if ctx.infeasible {
+						return true
+					}
+					if res == Reduced {
+						changed = true
+						s.Stats.PropFixings++
+					}
+				}
+				if !changed {
+					break
+				}
 			}
-			if res == Reduced {
-				changed = true
-				s.Stats.PropFixings++
-			}
-		}
-		if !changed {
-			break
+			return false
+		}()
+		if infeasible {
+			finishRoot()
+			return
 		}
 	}
 
@@ -514,22 +552,31 @@ func (s *Solver) processNode(n *Node) {
 		// Relaxators (e.g. the SDP relaxation) may improve the bound and
 		// produce their own candidate.
 		relaxCut := false
-		for _, rel := range s.Plug.Relaxators {
-			rb, x, res := rel.Relax(ctx)
-			if res == Cutoff || ctx.infeasible {
+		if len(s.Plug.Relaxators) > 0 {
+			cutoff := func() bool {
+				defer phaseAdd(&s.Stats.Phases.Relax, time.Now())
+				for _, rel := range s.Plug.Relaxators {
+					rb, x, res := rel.Relax(ctx)
+					if res == Cutoff || ctx.infeasible {
+						return true
+					}
+					if rb > n.Bound {
+						n.Bound = rb
+					}
+					if x != nil {
+						ctx.RelaxX = x
+						cand = x
+						candRelaxOptimal = true
+					}
+					if res == Separated {
+						relaxCut = true
+					}
+				}
+				return false
+			}()
+			if cutoff {
 				finishRoot()
 				return
-			}
-			if rb > n.Bound {
-				n.Bound = rb
-			}
-			if x != nil {
-				ctx.RelaxX = x
-				cand = x
-				candRelaxOptimal = true
-			}
-			if res == Separated {
-				relaxCut = true
 			}
 		}
 		if n.Bound >= s.cutoffValue() {
@@ -589,14 +636,16 @@ func (s *Solver) processNode(n *Node) {
 	finishRoot()
 
 	// Heuristics.
+	runHeur := func() {
+		defer phaseAdd(&s.Stats.Phases.Heuristics, time.Now())
+		for _, h := range s.Plug.Heuristics {
+			h.Search(ctx)
+		}
+	}
 	if s.Set.HeurFreq > 0 && (isRoot || s.Stats.Nodes%int64(s.Set.HeurFreq) == 0) {
-		for _, h := range s.Plug.Heuristics {
-			h.Search(ctx)
-		}
+		runHeur()
 	} else if isRoot {
-		for _, h := range s.Plug.Heuristics {
-			h.Search(ctx)
-		}
+		runHeur()
 	}
 	if n.Bound >= s.cutoffValue() {
 		return
@@ -652,7 +701,9 @@ func (s *Solver) solveLPWithSeparation(ctx *Ctx, n *Node) lpStatus {
 		}
 	}
 	for round := 0; ; round++ {
+		lpStart := time.Now()
 		sol := s.lps.Solve()
+		phaseAdd(&s.Stats.Phases.LP, lpStart)
 		s.Stats.LPIterations += int64(sol.Iters)
 		switch sol.Status {
 		case lp.Infeasible:
@@ -675,11 +726,18 @@ func (s *Solver) solveLPWithSeparation(ctx *Ctx, n *Node) lpStatus {
 			return lpOK
 		}
 		before := ctx.ncuts
-		for _, sep := range s.Plug.Separators {
-			sep.Separate(ctx)
-			if ctx.infeasible {
-				return lpInfeasible
+		infeasible := func() bool {
+			defer phaseAdd(&s.Stats.Phases.Separation, time.Now())
+			for _, sep := range s.Plug.Separators {
+				sep.Separate(ctx)
+				if ctx.infeasible {
+					return true
+				}
 			}
+			return false
+		}()
+		if infeasible {
+			return lpInfeasible
 		}
 		if ctx.ncuts == before {
 			return lpOK

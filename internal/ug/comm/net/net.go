@@ -48,7 +48,11 @@ type Options struct {
 	// data frames; nil disables injection.
 	Fault *FaultPlan
 	// Trace receives comm.connect / comm.retry / comm.heartbeat /
-	// comm.peerdown events (nil disables tracing).
+	// comm.peerdown events (nil disables tracing). The transport also
+	// switches the tracer into causal mode (obs.Tracer.EnableCausal) and
+	// piggybacks its Lamport clock on every data frame, so per-process
+	// traces of one distributed run can be merged into a single
+	// causally-consistent timeline by obs.MergeTraces / ugtrace -merge.
 	Trace *obs.Tracer
 	// Metrics receives transfer-byte counters and queue-depth gauges at
 	// construction time (nil disables collection).
@@ -205,6 +209,9 @@ func (l *Listener) Close() error { return l.ln.Close() }
 // every accepted connection is torn down and an error returned.
 func (l *Listener) Rendezvous(size int, opts Options) (*NetComm, error) {
 	opts = opts.withDefaults()
+	// Causal stamping starts before the first connect event so every
+	// coordinator-side event of a distributed run carries a clock.
+	opts.Trace.EnableCausal(0)
 	if size < 2 {
 		_ = l.ln.Close()
 		return nil, fmt.Errorf("netcomm: roster size %d < 2 (coordinator + at least one worker)", size)
@@ -308,6 +315,9 @@ func Dial(addr string, rank int, opts Options) (*NetComm, error) {
 	if rank < 1 {
 		return nil, fmt.Errorf("netcomm: worker rank must be >= 1, got %d", rank)
 	}
+	// Causal stamping starts before the first dial attempt so even
+	// comm.retry events carry Lamport clocks and survive a trace merge.
+	opts.Trace.EnableCausal(rank)
 	// Jitter comes from an explicitly seeded local generator — rank
 	// decorrelates workers started from the same seed.
 	rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*7919 + 1))
@@ -463,7 +473,11 @@ func (c *NetComm) sendLoop(p *peer) {
 				return
 			}
 		}
-		buf = AppendMessage(buf[:0], m)
+		// The frame write is a Lamport send event: stamping here (not at
+		// the Send call) still orders every event the sender emitted
+		// before Send strictly before the frame, since the clock is
+		// monotone. Nil/non-causal tracers yield clock 0 (no causal info).
+		buf = AppendMessage(buf[:0], m, c.trace.ClockSend())
 		writes := 1
 		if dup {
 			writes = 2
@@ -493,11 +507,15 @@ func (c *NetComm) recvLoop(p *peer) {
 		p.lastIn.Store(time.Now().UnixNano())
 		switch ftype {
 		case frameData:
-			m, derr := DecodeMessage(body)
+			m, clk, derr := DecodeMessage(body)
 			if derr != nil {
 				c.peerGone(p, fmt.Errorf("netcomm: rank %d sent a malformed frame: %w", p.rank, derr))
 				return
 			}
+			// Merge the sender's Lamport clock before the message becomes
+			// visible locally: anything emitted after the delivery is then
+			// causally ordered after everything the sender did before it.
+			c.trace.ClockRecv(clk)
 			ins := c.ins.Load()
 			ins.bytesIn.Add(int64(len(body)) + 5)
 			ins.framesIn.Inc()

@@ -12,7 +12,7 @@
 //
 // with five frame types:
 //
-//	data      int32 from | int8 tag | uint32 payload length | payload
+//	data      int32 from | int8 tag | uint64 lamport clock | uint32 payload length | payload
 //	hello     uint32 magic | uint16 protocol version | int32 rank
 //	welcome   uint16 protocol version | int32 roster size
 //	reject    uint16 reason length | reason bytes
@@ -37,8 +37,9 @@ import (
 
 // ProtocolVersion is the rendezvous protocol version. A coordinator
 // rejects hellos carrying any other version: mixed-build rosters fail
-// at connect time instead of desynchronizing mid-run.
-const ProtocolVersion uint16 = 1
+// at connect time instead of desynchronizing mid-run. Version 2 added
+// the Lamport clock field to data frames (distributed trace merging).
+const ProtocolVersion uint16 = 2
 
 // protocolMagic opens every hello frame ("UGN" + version byte slot);
 // it rejects strangers dialing the rendezvous port by accident.
@@ -60,33 +61,39 @@ const (
 const maxFrameBody = 64 << 20
 
 // AppendMessage appends the deterministic binary encoding of m's data
-// frame body (from, tag, payload) to buf and returns the extended
-// slice. Exported so the codec tests can pin byte-level determinism and
-// cross-check round-trips against GobComm's frame encoding.
-func AppendMessage(buf []byte, m comm.Message) []byte {
+// frame body (from, tag, lamport clock, payload) to buf and returns the
+// extended slice. clock is the sender's Lamport timestamp for this send
+// (0 when tracing is off — the receiver then treats the frame as
+// carrying no causal information). Exported so the codec tests can pin
+// byte-level determinism and cross-check round-trips against GobComm's
+// frame encoding.
+func AppendMessage(buf []byte, m comm.Message, clock int64) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.From)))
 	buf = append(buf, byte(m.Tag))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(clock))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
 	return append(buf, m.Payload...)
 }
 
-// DecodeMessage decodes a data frame body produced by AppendMessage.
-func DecodeMessage(body []byte) (comm.Message, error) {
-	if len(body) < 9 {
-		return comm.Message{}, fmt.Errorf("netcomm: data frame truncated: %d bytes", len(body))
+// DecodeMessage decodes a data frame body produced by AppendMessage,
+// returning the message and the sender's Lamport clock.
+func DecodeMessage(body []byte) (comm.Message, int64, error) {
+	if len(body) < 17 {
+		return comm.Message{}, 0, fmt.Errorf("netcomm: data frame truncated: %d bytes", len(body))
 	}
 	m := comm.Message{
 		From: int(int32(binary.BigEndian.Uint32(body[:4]))),
 		Tag:  comm.Tag(int8(body[4])),
 	}
-	n := binary.BigEndian.Uint32(body[5:9])
-	if uint32(len(body)-9) != n {
-		return comm.Message{}, fmt.Errorf("netcomm: payload length %d != remaining %d", n, len(body)-9)
+	clock := int64(binary.BigEndian.Uint64(body[5:13]))
+	n := binary.BigEndian.Uint32(body[13:17])
+	if uint32(len(body)-17) != n {
+		return comm.Message{}, 0, fmt.Errorf("netcomm: payload length %d != remaining %d", n, len(body)-17)
 	}
 	if n > 0 {
-		m.Payload = append([]byte(nil), body[9:]...)
+		m.Payload = append([]byte(nil), body[17:]...)
 	}
-	return m, nil
+	return m, clock, nil
 }
 
 // appendHello encodes a hello frame body for rank.

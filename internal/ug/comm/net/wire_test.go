@@ -25,14 +25,18 @@ func sampleMessages() []comm.Message {
 }
 
 func TestMessageRoundTrip(t *testing.T) {
-	for _, want := range sampleMessages() {
-		body := AppendMessage(nil, want)
-		got, err := DecodeMessage(body)
+	for i, want := range sampleMessages() {
+		wantClock := int64(i * 1000003) // varied clocks, including 0
+		body := AppendMessage(nil, want, wantClock)
+		got, clock, err := DecodeMessage(body)
 		if err != nil {
 			t.Fatalf("decode %+v: %v", want, err)
 		}
 		if got.From != want.From || got.Tag != want.Tag || !bytes.Equal(got.Payload, want.Payload) {
 			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if clock != wantClock {
+			t.Fatalf("round trip clock: got %d want %d", clock, wantClock)
 		}
 	}
 }
@@ -41,28 +45,29 @@ func TestMessageBytesDeterministic(t *testing.T) {
 	m := comm.Message{From: 2, Tag: comm.TagStatus, Payload: []byte("hi")}
 	want := []byte{
 		0, 0, 0, 2, // From, int32 BE
-		byte(comm.TagStatus), // Tag
-		0, 0, 0, 2,           // payload length, uint32 BE
+		byte(comm.TagStatus),   // Tag
+		0, 0, 0, 0, 0, 0, 1, 1, // Lamport clock, uint64 BE
+		0, 0, 0, 2, // payload length, uint32 BE
 		'h', 'i',
 	}
-	got := AppendMessage(nil, m)
+	got := AppendMessage(nil, m, 257)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("encoding changed: got % x want % x", got, want)
 	}
-	if again := AppendMessage(nil, m); !bytes.Equal(got, again) {
+	if again := AppendMessage(nil, m, 257); !bytes.Equal(got, again) {
 		t.Fatalf("non-deterministic encoding: % x vs % x", got, again)
 	}
 }
 
 func TestDecodeMessageRejectsCorrupt(t *testing.T) {
-	if _, err := DecodeMessage([]byte{1, 2, 3}); err == nil {
+	if _, _, err := DecodeMessage([]byte{1, 2, 3}); err == nil {
 		t.Fatal("truncated body accepted")
 	}
-	body := AppendMessage(nil, comm.Message{From: 1, Tag: comm.TagNode, Payload: []byte("xyz")})
-	if _, err := DecodeMessage(body[:len(body)-1]); err == nil {
+	body := AppendMessage(nil, comm.Message{From: 1, Tag: comm.TagNode, Payload: []byte("xyz")}, 42)
+	if _, _, err := DecodeMessage(body[:len(body)-1]); err == nil {
 		t.Fatal("short payload accepted")
 	}
-	if _, err := DecodeMessage(append(body, 'z')); err == nil {
+	if _, _, err := DecodeMessage(append(body, 'z')); err == nil {
 		t.Fatal("trailing garbage accepted")
 	}
 }
@@ -80,7 +85,7 @@ func TestRoundTripMatchesGobComm(t *testing.T) {
 		if !ok {
 			t.Fatalf("GobComm dropped %+v", want)
 		}
-		viaNet, err := DecodeMessage(AppendMessage(nil, want))
+		viaNet, _, err := DecodeMessage(AppendMessage(nil, want, 0))
 		if err != nil {
 			t.Fatalf("net codec: %v", err)
 		}

@@ -87,6 +87,11 @@ type RunStats struct {
 	StatusReports  int64   // periodic status messages received
 	Ticks          int64   // coordinator event-loop iterations (logical time)
 	PerWorkerNodes []int64 // branch-and-bound nodes per worker (rank-1 indexed)
+
+	// Phases is the wall-time-per-phase breakdown: Presolve is the
+	// coordinator's global presolve, every other phase is summed over
+	// the subproblem outcomes the workers report.
+	Phases PhaseTimes
 }
 
 // Result is the outcome of a UG run.
@@ -157,6 +162,10 @@ type coordinator struct {
 	tick      int64
 	lastDual  float64 // last dual bound written to the trace
 	poolGauge *obs.Gauge
+	// Outcome distributions for the -stats table (nil-safe when metrics
+	// are disabled): LP iterations and busy seconds per subproblem.
+	lpItersHist *obs.Histogram
+	subSeconds  *obs.Histogram
 }
 
 // Run executes a complete UG solve: global presolve in the coordinator,
@@ -224,6 +233,8 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 		trace:       cfg.Trace,
 		lastDual:    math.Inf(-1),
 		poolGauge:   cfg.Metrics.Gauge("ug.pool.depth"),
+		lpItersHist: cfg.Metrics.Histogram("ug.outcome.lpiters", []float64{10, 100, 1e3, 1e4, 1e5}),
+		subSeconds:  cfg.Metrics.Histogram("ug.subproblem.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60}),
 	}
 	co.stats.RacingWinner = -1
 	co.stats.PerWorkerNodes = make([]int64, cfg.Workers)
@@ -241,7 +252,9 @@ func (co *coordinator) run() (*Result, error) {
 	co.lastCkpt = co.start
 	co.trace.Emit(obs.Event{Kind: obs.KindRunStart, Open: co.cfg.Workers})
 
+	presolveStart := time.Now()
 	root, initial, err := co.factory.GlobalPresolve()
+	co.stats.Phases.Presolve = time.Since(presolveStart).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("ug: global presolve: %w", err)
 	}
@@ -619,6 +632,8 @@ func (co *coordinator) handle(m comm.Message) {
 		co.stats.TotalNodes += out.Nodes
 		co.stats.LPIterations += out.LPIterations
 		co.stats.CutsAdded += out.CutsAdded
+		co.stats.Phases.Add(out.Phases)
+		co.lpItersHist.Observe(float64(out.LPIterations))
 		if m.From >= 1 && m.From <= len(co.stats.PerWorkerNodes) {
 			co.stats.PerWorkerNodes[m.From-1] += out.Nodes
 		}
@@ -632,7 +647,9 @@ func (co *coordinator) handle(m comm.Message) {
 			co.trace.Emit(obs.Event{Kind: obs.KindSolverIdle, Rank: m.From})
 		}
 		if t, ok := co.dispatchAt[m.From]; ok {
-			co.busy[m.From] += time.Since(t)
+			d := time.Since(t)
+			co.busy[m.From] += d
+			co.subSeconds.Observe(d.Seconds())
 			delete(co.dispatchAt, m.From)
 		}
 		if num.ExactZero(co.stats.RootTime) && m.From == co.rootRank && out.RootTime > 0 {

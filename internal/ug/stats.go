@@ -29,6 +29,9 @@ func FormatStats(w io.Writer, st RunStats) error {
 		{"max active", fmt.Sprintf("%d (first at %.3fs)", st.MaxActive, st.FirstMaxActiveTime)},
 		{"LP iterations", fmt.Sprintf("%d", st.LPIterations)},
 		{"cuts added", fmt.Sprintf("%d", st.CutsAdded)},
+		{"phase times (s)", fmt.Sprintf("presolve %.3f  LP %.3f  relax %.3f  sepa %.3f  heur %.3f  prop %.3f",
+			st.Phases.Presolve, st.Phases.LP, st.Phases.Relax,
+			st.Phases.Separation, st.Phases.Heuristics, st.Phases.Propagation)},
 		{"initial bounds", fmt.Sprintf("primal %s  dual %s", fmtBound(st.InitialPrimal), fmtBound(st.InitialDual))},
 		{"final bounds", fmt.Sprintf("primal %s  dual %s", fmtBound(st.FinalPrimal), fmtBound(st.FinalDual))},
 	}

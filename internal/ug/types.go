@@ -51,6 +51,32 @@ type Outcome struct {
 	// Base solvers without an LP leave them zero.
 	LPIterations int64
 	CutsAdded    int64
+	// Phases is the subproblem's wall time per base-solver phase; the
+	// coordinator sums it into RunStats.Phases for the -stats table.
+	Phases PhaseTimes
+}
+
+// PhaseTimes is wall-clock seconds per base-solver phase, summed across
+// subproblems by the coordinator. It mirrors the base solver's own
+// phase breakdown (scip.PhaseTimes) without ug importing the solver:
+// diagnostics only, never consulted by coordination decisions.
+type PhaseTimes struct {
+	Presolve    float64
+	LP          float64
+	Relax       float64
+	Separation  float64
+	Heuristics  float64
+	Propagation float64
+}
+
+// Add accumulates q into p.
+func (p *PhaseTimes) Add(q PhaseTimes) {
+	p.Presolve += q.Presolve
+	p.LP += q.LP
+	p.Relax += q.Relax
+	p.Separation += q.Separation
+	p.Heuristics += q.Heuristics
+	p.Propagation += q.Propagation
 }
 
 // Command is what Session.Poll hands back to the base-solver adapter.

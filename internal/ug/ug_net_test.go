@@ -53,11 +53,15 @@ func runDistributed(t *testing.T, ff *fakeFactory, workers int, cfg Config,
 			}
 			defer wc.Close()
 			// Worker processes presolve their own instance copy; the
-			// fake factory's presolve is pure so this mirrors that.
-			RunWorker(rank, wc, ff, nil)
+			// fake factory's presolve is pure so this mirrors that. The
+			// worker session shares the endpoint's tracer, as the CLI
+			// worker path does.
+			RunWorker(rank, wc, ff, o.Trace)
 		}(rank, o)
 	}
-	c, err := ln.Rendezvous(workers+1, distOpts())
+	copts := distOpts()
+	copts.Trace = cfg.Trace
+	c, err := ln.Rendezvous(workers+1, copts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,6 +139,57 @@ func TestDistributedWorkerDeathRequeues(t *testing.T) {
 	}
 	if want := trueMin(lo, hi); res.Obj != want {
 		t.Fatalf("obj %v, true min %v (lost subproblem not requeued?)", res.Obj, want)
+	}
+}
+
+// TestDistributedMergedTraceCausallyConsistent is the acceptance check
+// for the causal-tracing layer: a 3-process (coordinator + 2 workers)
+// loopback solve with a fault-injected disconnect records one trace per
+// endpoint, and the merged timeline must pass the cross-rank validator —
+// Lamport order puts every worker event inside its dispatch→outcome
+// window and every collected node after its ship announcement, even
+// with a worker dying mid-run.
+func TestDistributedMergedTraceCausallyConsistent(t *testing.T) {
+	const lo, hi, chunk = 0, 300000, 300
+	csink := &obs.MemSink{}
+	w1, w2 := &obs.MemSink{}, &obs.MemSink{}
+	wOpts := map[int]netcomm.Options{
+		1: {Trace: obs.NewTracer(w1)},
+		2: {Trace: obs.NewTracer(w2), Fault: netcomm.NewFaultPlan(netcomm.FaultRule{
+			Tag: comm.TagStatus, Nth: 3, Action: netcomm.FaultDisconnect})},
+	}
+	res, err := runDistributed(t, &fakeFactory{lo: lo, hi: hi, chunk: chunk}, 2,
+		Config{StatusInterval: 1e-4, ShipInterval: 1e-4, Trace: obs.NewTracer(csink)}, wOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("run not optimal: %+v", res)
+	}
+	if len(csink.Filter(obs.KindCommPeerDown)) == 0 {
+		t.Fatal("fault plan never fired: no comm.peerdown event — test exercised nothing")
+	}
+	perRank := [][]obs.Event{csink.Events(), w1.Events(), w2.Events()}
+	for i, evs := range perRank {
+		if err := obs.ValidateTrace(evs); err != nil {
+			t.Fatalf("per-endpoint trace %d invalid: %v", i, err)
+		}
+	}
+	merged, err := obs.MergeTraces(perRank...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateMergedTrace(merged); err != nil {
+		t.Fatalf("merged trace fails cross-rank validation: %v", err)
+	}
+	byOrigin := map[int]int{}
+	for _, ev := range merged {
+		byOrigin[ev.Orig]++
+	}
+	for origin := 0; origin <= 2; origin++ {
+		if byOrigin[origin] == 0 {
+			t.Fatalf("no events from origin %d in merged trace (have %v)", origin, byOrigin)
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# profile_smoke.sh — smoke test for the -pprof debug endpoint.
+#
+# Starts a deliberately slow solve with the debug server on a fixed
+# loopback port, then (while the solver is working) fetches /statusz and
+# a 1-second CPU profile from /debug/pprof/. Both must answer with
+# non-empty bodies. The solve is bounded by -time so the background
+# process always exits on its own; we also kill it on every exit path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:6872
+STATUSZ=/tmp/ug-profile-smoke.statusz
+PROFILE=/tmp/ug-profile-smoke.pprof
+
+go build -o /tmp/ugsteiner-prof ./cmd/ugsteiner
+
+# hc7u runs for >10s even under the time limit, so the process is
+# reliably still alive while the 1-second CPU profile is captured; the
+# trap kills it as soon as the checks pass.
+/tmp/ugsteiner-prof -instance hc7u -workers 2 -time 10 -pprof "$ADDR" \
+    >/tmp/ug-profile-smoke.out 2>&1 &
+SOLVE_PID=$!
+trap 'kill "$SOLVE_PID" 2>/dev/null; wait "$SOLVE_PID" 2>/dev/null || true' EXIT
+
+# The debug server binds before the solve starts, but give the process a
+# short retry window to come up.
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/statusz" -o "$STATUSZ"; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "profile-smoke: debug server never answered /statusz" >&2
+    cat /tmp/ug-profile-smoke.out >&2
+    exit 1
+fi
+grep -q uptime_seconds "$STATUSZ" || {
+    echo "profile-smoke: /statusz missing uptime_seconds:" >&2
+    cat "$STATUSZ" >&2
+    exit 1
+}
+grep -q metric "$STATUSZ" || {
+    echo "profile-smoke: /statusz missing the metrics table:" >&2
+    cat "$STATUSZ" >&2
+    exit 1
+}
+
+curl -sf "http://$ADDR/debug/pprof/profile?seconds=1" -o "$PROFILE"
+if [ ! -s "$PROFILE" ]; then
+    echo "profile-smoke: empty CPU profile" >&2
+    exit 1
+fi
+
+echo "profile-smoke: ok (statusz $(wc -c <"$STATUSZ") bytes, profile $(wc -c <"$PROFILE") bytes)"
