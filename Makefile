@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-fix-list race fmt check trace-smoke net-smoke profile-smoke
+.PHONY: build test lint lint-json lint-fix-list race fmt check trace-smoke net-smoke profile-smoke
 
 build:
 	go build ./...
@@ -12,6 +12,12 @@ test:
 # the "Static analysis" section of README.md).
 lint:
 	go run ./cmd/ugolint ./...
+
+# lint-json emits findings as a JSON array (with suggested fixes as
+# replace-range edits) for editors and CI integrations. Exit status is
+# still 1 when anything is found.
+lint-json:
+	go run ./cmd/ugolint -json ./...
 
 # lint-fix-list prints findings grouped by file with per-file counts —
 # the triage view for working down a backlog. Always exits 0 so it can

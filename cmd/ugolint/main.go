@@ -8,6 +8,7 @@
 //	go run ./cmd/ugolint ./internal/ug/...     # one subtree
 //	go run ./cmd/ugolint -analyzers floatcmp,errdrop ./...
 //	go run ./cmd/ugolint -group ./...          # findings grouped by file
+//	go run ./cmd/ugolint -json ./...           # machine-readable, with fixes
 //	go run ./cmd/ugolint -list                 # describe analyzers
 package main
 
@@ -28,6 +29,7 @@ func main() {
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		quiet     = flag.Bool("q", false, "suppress the summary lines")
 		group     = flag.Bool("group", false, "group findings by file for triage")
+		asJSON    = flag.Bool("json", false, "emit findings as a JSON array (with suggested fixes where mechanical)")
 	)
 	flag.Parse()
 
@@ -74,14 +76,20 @@ func main() {
 	}
 
 	findings := analysis.Run(pkgs, sel)
-	if *group {
+	switch {
+	case *asJSON:
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "ugolint:", err)
+			os.Exit(2)
+		}
+	case *group:
 		printGrouped(findings)
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
 	}
-	if !*quiet {
+	if !*quiet && !*asJSON {
 		fmt.Fprintf(os.Stderr, "ugolint: %d package(s), %d finding(s)\n", len(pkgs), len(findings))
 		printPerAnalyzer(sel, findings)
 	}

@@ -25,11 +25,22 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at a source position.
+// Finding is one rule violation at a source position. Fix, when
+// non-nil, is a mechanical text edit that resolves the finding.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fix      *TextEdit
+}
+
+// TextEdit is a suggested fix: replace the source range [Pos, End) with
+// NewText. Positions are resolved (file/line/column), so tools can apply
+// the edit without re-parsing.
+type TextEdit struct {
+	Pos     token.Position
+	End     token.Position
+	NewText string
 }
 
 func (f Finding) String() string {
@@ -61,6 +72,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFixf records a finding at pos carrying a suggested text edit:
+// replace [fixPos, fixEnd) with newText.
+func (p *Pass) ReportFixf(pos token.Pos, fixPos, fixEnd token.Pos, newText, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix: &TextEdit{
+			Pos:     p.Fset.Position(fixPos),
+			End:     p.Fset.Position(fixEnd),
+			NewText: newText,
+		},
+	})
+}
+
 // Analyzer is one named rule.
 type Analyzer struct {
 	Name string
@@ -71,8 +97,9 @@ type Analyzer struct {
 }
 
 // All returns the full analyzer set in stable order: the six
-// intraprocedural analyzers from the first generation, then the four
-// interprocedural ones built on the call-graph summaries.
+// intraprocedural analyzers from the first generation, the four
+// interprocedural ones built on the call-graph summaries, then the four
+// dataflow/taint analyzers built on the value-level layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -85,6 +112,10 @@ func All() []*Analyzer {
 		GoroLeak,
 		MapDet,
 		TolConst,
+		WallDet,
+		CtxDeadline,
+		TraceKind,
+		ChanLock,
 	}
 }
 

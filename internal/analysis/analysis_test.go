@@ -228,8 +228,19 @@ func enclosingFixtureFunc(t *testing.T, pkg *Package, f Finding) string {
 // TestByName covers the CLI's analyzer selection.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 10 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 10", len(all), err)
+	if err != nil || len(all) != 14 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 14", len(all), err)
+	}
+	// The dataflow-layer analyzers must be registered (the selfcheck
+	// runs All(), so this also keeps them wired into tier-1).
+	names := map[string]bool{}
+	for _, a := range all {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"walldet", "ctxdeadline", "tracekind", "chanlock"} {
+		if !names[want] {
+			t.Errorf("ByName(\"\") is missing analyzer %s", want)
+		}
 	}
 	sel, err := ByName("floatcmp, errdrop")
 	if err != nil || len(sel) != 2 || sel[0].Name != "floatcmp" || sel[1].Name != "errdrop" {

@@ -37,6 +37,18 @@ type FuncNode struct {
 	// pass and the analyzer.
 	orderOnce  bool
 	orderSites []mapdetSite
+
+	// Dataflow layer results (dataflow.go): the converged taint
+	// summary, intrinsic-taint sink hits (walldet), and recorded
+	// obs.Event construction sites (tracekind).
+	taint      taintSummary
+	taintSites []taintSite
+	evLits     []eventLitSite
+	evAssigns  []eventAssignSite
+
+	// ctxdeadline's I/O-parameter summary: which parameters the
+	// function performs raw network-style reads/writes on.
+	ioParams []ioKind
 }
 
 // Name returns a stable human-readable identifier: the type-qualified
@@ -103,6 +115,8 @@ func BuildModule(pkgs []*Package) *Module {
 		}
 	}
 	computeSummaries(m)
+	computeTaintSummaries(m)
+	computeIOParams(m)
 	return m
 }
 

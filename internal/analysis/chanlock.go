@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanLock generalizes lockblock to the cases straight-line scanning
+// cannot see, using the flow driver's may-held lattice: a channel send
+// or receive reached while a mutex is held on only *some* paths (the
+// conditional acquire that lockhold's linear scan misses), and any
+// network write made while any mutex is held — remote backpressure can
+// stall the peer arbitrarily, extending the critical section with it.
+//
+// Non-blocking select cases (a select with a default clause) are
+// exempt: they poll, they do not park the goroutine.
+var ChanLock = &Analyzer{
+	Name:    "chanlock",
+	Doc:     "channel op under a conditionally-held mutex, or network write while any mutex is held",
+	Applies: isInternal,
+	Run:     runChanLock,
+}
+
+type lockWalker struct {
+	p           *Pass
+	mod         *Module
+	info        *types.Info
+	nonBlocking map[token.Pos]bool // comm ops inside select-with-default
+	seen        map[string]bool
+}
+
+// heldEnv is the flow state: mutexes that may be held here. The value
+// records whether the hold is conditional (acquired on only some paths
+// into this point).
+type heldEnv struct {
+	w    *lockWalker
+	held map[types.Object]bool
+}
+
+func (e *heldEnv) fork() flowState {
+	cp := &heldEnv{w: e.w, held: make(map[types.Object]bool, len(e.held))}
+	for k, v := range e.held {
+		cp.held[k] = v
+	}
+	return cp
+}
+
+// merge unions may-held facts: a mutex held on only one incoming path
+// becomes conditionally held.
+func (e *heldEnv) merge(other flowState) {
+	o := other.(*heldEnv)
+	for k, cond := range o.held {
+		if mine, ok := e.held[k]; ok {
+			e.held[k] = mine || cond
+		} else {
+			e.held[k] = true
+		}
+	}
+	for k := range e.held {
+		if _, ok := o.held[k]; !ok {
+			e.held[k] = true
+		}
+	}
+}
+
+func (e *heldEnv) leaf(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.DeferStmt:
+		return // deferred Unlock releases at return, not here
+	case *ast.GoStmt:
+		return // the new goroutine does not hold this one's locks
+	case *ast.RangeStmt:
+		e.scan(s.X)
+	default:
+		e.scan(st)
+	}
+}
+
+func (e *heldEnv) expr(x ast.Expr) {
+	if x != nil {
+		e.scan(x)
+	}
+}
+
+func (e *heldEnv) scan(nd ast.Node) {
+	walkShallow(nd, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			if obj, op, ok := syncLockOp(e.w.info, v); ok {
+				if obj != nil {
+					switch op {
+					case "Lock", "RLock":
+						e.held[obj] = false
+					case "TryLock", "TryRLock":
+						e.held[obj] = true // acquired only when it succeeds
+					case "Unlock", "RUnlock":
+						delete(e.held, obj)
+					}
+				}
+				return true
+			}
+			e.netWrite(v)
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				e.commOp(v.Pos(), "receive")
+			}
+		case *ast.SendStmt:
+			e.commOp(v.Pos(), "send")
+		}
+		return true
+	})
+}
+
+// commOp reports a blocking channel operation while a mutex may be held
+// conditionally. Unconditional holds are lockhold/lockblock territory;
+// re-reporting them here would double up.
+func (e *heldEnv) commOp(pos token.Pos, what string) {
+	if e.w.nonBlocking[pos] {
+		return
+	}
+	for _, mu := range e.heldSorted() {
+		if !e.held[mu] {
+			continue
+		}
+		e.w.report(pos, "channel %s while mutex %q may be held (acquired on only some paths into this point); restructure so the hold is unconditional or move the %s out",
+			what, mu.Name(), what)
+	}
+}
+
+// netWrite reports network writes (raw or through module callees) made
+// while any mutex is held.
+func (e *heldEnv) netWrite(call *ast.CallExpr) {
+	if len(e.held) == 0 {
+		return
+	}
+	check := func(arg ast.Expr, k ioKind, via string) {
+		if k&ioWrite == 0 {
+			return
+		}
+		obj := exprRootObj(e.w.info, arg)
+		if obj == nil || !connishObj(obj) {
+			return
+		}
+		suffix := ""
+		if via != "" {
+			suffix = " (via " + via + ")"
+		}
+		for _, mu := range e.heldSorted() {
+			e.w.report(arg.Pos(), "network write on %s while mutex %q is held%s; remote backpressure extends the critical section",
+				exprString(arg), mu.Name(), suffix)
+		}
+	}
+	callees := e.w.mod.calleesOf(e.w.info, call.Fun)
+	if len(callees) == 0 {
+		for _, t := range rawIOTargets(e.w.info, call) {
+			check(t.expr, t.kind, "")
+		}
+		return
+	}
+	args := alignedArgs(e.w.info, call)
+	for _, c := range callees {
+		for i, k := range c.ioParams {
+			if k != 0 && i < len(args) {
+				check(args[i], k, shortFuncName(c))
+			}
+		}
+	}
+}
+
+// heldSorted returns the held mutexes in stable (name) order so finding
+// order is deterministic.
+func (e *heldEnv) heldSorted() []types.Object {
+	out := make([]types.Object, 0, len(e.held))
+	for mu := range e.held {
+		out = append(out, mu)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func (w *lockWalker) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	w.p.Reportf(pos, "%s", msg)
+}
+
+// syncLockOp matches mu.Lock()-style calls on sync primitives and
+// returns the mutex identity and operation name.
+func syncLockOp(info *types.Info, call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		return mutexIdentity(info, sel.X), sel.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// nonBlockingComms marks the comm operations of every
+// select-with-default in body: those poll rather than block.
+func nonBlockingComms(body *ast.BlockStmt) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	walkShallow(body, func(nd ast.Node) bool {
+		sel, ok := nd.(*ast.SelectStmt)
+		if !ok || !selectHasDefault(sel) {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(x ast.Node) bool {
+				switch v := x.(type) {
+				case *ast.SendStmt:
+					out[v.Pos()] = true
+				case *ast.UnaryExpr:
+					if v.Op == token.ARROW {
+						out[v.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// exprRootObj resolves an expression's root identifier to its object.
+func exprRootObj(info *types.Info, e ast.Expr) types.Object {
+	root := rootIdent(e)
+	if root == nil {
+		return nil
+	}
+	if obj := info.Uses[root]; obj != nil {
+		return obj
+	}
+	return info.Defs[root]
+}
+
+func runChanLock(p *Pass) {
+	for _, n := range p.Mod.Funcs() {
+		if n.Pkg.PkgPath != p.PkgPath || n.body() == nil {
+			continue
+		}
+		w := &lockWalker{
+			p:           p,
+			mod:         p.Mod,
+			info:        n.Pkg.Info,
+			nonBlocking: nonBlockingComms(n.body()),
+			seen:        map[string]bool{},
+		}
+		env := &heldEnv{w: w, held: map[types.Object]bool{}}
+		flowStmts(n.body().List, env)
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the machine-readable finding shape emitted by
+// `ugolint -json`: stable field names, 1-based positions, and the
+// suggested fix (when one exists) as a replace-range edit.
+type jsonFinding struct {
+	Analyzer string    `json:"analyzer"`
+	File     string    `json:"file"`
+	Line     int       `json:"line"`
+	Col      int       `json:"col"`
+	Message  string    `json:"message"`
+	Fix      *jsonEdit `json:"fix,omitempty"`
+}
+
+// jsonEdit is a text replacement: substitute NewText for the source
+// range [start, end) within File.
+type jsonEdit struct {
+	File      string `json:"file"`
+	StartLine int    `json:"startLine"`
+	StartCol  int    `json:"startCol"`
+	EndLine   int    `json:"endLine"`
+	EndCol    int    `json:"endCol"`
+	NewText   string `json:"newText"`
+}
+
+// WriteJSON writes findings as an indented JSON array (never null: an
+// empty run emits []), suitable for scripts and editor integrations.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		jf := jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		}
+		if f.Fix != nil {
+			jf.Fix = &jsonEdit{
+				File:      f.Fix.Pos.Filename,
+				StartLine: f.Fix.Pos.Line,
+				StartCol:  f.Fix.Pos.Column,
+				EndLine:   f.Fix.End.Line,
+				EndCol:    f.Fix.End.Column,
+				NewText:   f.Fix.NewText,
+			}
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

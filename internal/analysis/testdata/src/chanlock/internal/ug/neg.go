@@ -1,0 +1,41 @@
+package ug
+
+import "net"
+
+// uncondSend holds the lock on every path: that is lockhold/lockblock
+// territory, and chanlock stays quiet to avoid double-reporting.
+func uncondSend(h *hub) {
+	h.mu.Lock()
+	h.ch <- 1
+	h.mu.Unlock()
+}
+
+// pollSend never parks: the select has a default arm.
+func pollSend(h *hub, urgent bool) {
+	if urgent {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	select {
+	case h.ch <- 1:
+	default:
+	}
+}
+
+// sendAfter releases inside the branch, so the lock is never held at
+// the send.
+func sendAfter(h *hub, urgent bool) {
+	if urgent {
+		h.mu.Lock()
+		h.mu.Unlock()
+	}
+	h.ch <- 1
+}
+
+// readUnlocked does its network IO outside any critical section; the
+// missing deadline is ctxdeadline's concern, not chanlock's.
+func readUnlocked(h *hub, conn net.Conn, buf []byte) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	_, _ = conn.Read(buf)
+}

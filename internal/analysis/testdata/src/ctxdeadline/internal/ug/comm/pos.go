@@ -1,0 +1,88 @@
+// Package comm holds fixtures for the ctxdeadline analyzer: blocking
+// network and mailbox operations reachable without a deadline on some
+// path. The directory nests under internal/ug/comm so the package path
+// passes both the analyzer's Applies filter and the comm-receiver
+// heuristic for the local Mailbox type.
+package comm
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+)
+
+// rawRead blocks forever if the peer stalls: no deadline anywhere.
+func rawRead(conn net.Conn, buf []byte) {
+	_, _ = conn.Read(buf) // WANT ctxdeadline
+}
+
+// rawWrite can also park indefinitely under remote backpressure.
+func rawWrite(conn net.Conn, buf []byte) {
+	_, _ = conn.Write(buf) // WANT ctxdeadline
+}
+
+// dial has no bound at all.
+func dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // WANT ctxdeadline
+}
+
+// condGuard arms the deadline on only one path; the must-analysis
+// intersection at the merge drops it.
+func condGuard(conn net.Conn, fast bool, buf []byte) {
+	if fast {
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	_, _ = conn.Read(buf) // WANT ctxdeadline
+}
+
+// cleared re-opens the window: a zero time.Time clears the deadline.
+func cleared(conn net.Conn, buf []byte) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	_, _ = io.ReadFull(conn, buf)
+	_ = conn.SetDeadline(time.Time{})
+	_, _ = conn.Read(buf) // WANT ctxdeadline
+}
+
+// fill is a plain io.Reader helper — not flagged here, but its summary
+// records that param 0 is read from.
+func fill(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf)
+	return err
+}
+
+// viaHelper passes an unguarded conn into fill; the finding lands at
+// the call site, where the connection (and the fix) lives.
+func viaHelper(conn net.Conn, buf []byte) {
+	_ = fill(conn, buf) // WANT ctxdeadline
+}
+
+// wrappedUnguarded reads through a bufio wrapper; the alias tracking
+// must chase br back to conn.
+func wrappedUnguarded(conn net.Conn) (byte, error) {
+	br := bufio.NewReader(conn)
+	return br.ReadByte() // WANT ctxdeadline
+}
+
+// Mailbox is a local stand-in for the comm-layer mailbox: Get blocks
+// until a send or a close.
+type Mailbox struct{ ch chan int }
+
+// Get blocks until a value arrives or the box is closed.
+func (m *Mailbox) Get() (int, bool) {
+	v, ok := <-m.ch
+	return v, ok
+}
+
+// drain blocks on Get with no shutdown justification.
+func drain(mb *Mailbox) int {
+	v, _ := mb.Get() // WANT ctxdeadline
+	return v
+}
+
+// drainJustified carries the required justification, so no finding.
+func drainJustified(mb *Mailbox) int {
+	//lint:ignore ctxdeadline close unblocks Get in this fixture
+	v, _ := mb.Get()
+	return v
+}

@@ -1,0 +1,66 @@
+// Package dataflow is the engine-level fixture: dataflow_test.go builds
+// a Module over it and asserts the converged taint summaries directly
+// (return-taint bits, parameter markers, sanitizers, and composition
+// through callees) rather than going through an analyzer.
+package dataflow
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// wallRet returns raw wall-clock taint.
+func wallRet() int64 { return time.Now().UnixNano() }
+
+// passthrough returns its parameter: the summary must carry the
+// param-0 marker and no intrinsic taint.
+func passthrough(s string) string { return s }
+
+// viaIf taints v on one branch only; the join at the merge must keep
+// the wall bit in the return summary.
+func viaIf(flag bool) int64 {
+	var v int64
+	if flag {
+		v = time.Now().UnixNano()
+	}
+	return v
+}
+
+// viaLoop acquires the taint inside a loop body through a module
+// callee; the double body walk makes it visible at the return.
+func viaLoop(n int) int64 {
+	var v int64
+	for i := 0; i < n; i++ {
+		v = wallRet()
+	}
+	return v
+}
+
+// keysSorted sanitizes the map-order taint: after sort.Strings the
+// result is deterministic.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysRaw returns the keys in iteration order: the map-order bit must
+// survive to the return summary.
+func keysRaw(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// format launders nothing: strconv is a taint propagator.
+func format(v int64) string { return strconv.FormatInt(v, 10) }
+
+// wallWrapped composes three summaries: wallRet's intrinsic taint
+// through format's and passthrough's param→return flows.
+func wallWrapped() string { return passthrough(format(wallRet())) }

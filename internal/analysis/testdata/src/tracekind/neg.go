@@ -1,0 +1,45 @@
+package tracekind
+
+import "repro/internal/obs"
+
+// emitSubset sets a legal subset of the kind's fields.
+func emitSubset(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: obs.KindDispatch, Rank: 1, Sub: 2})
+}
+
+// emitZero is the bare zero value: nothing to check.
+func emitZero(tr *obs.Tracer) {
+	var ev obs.Event
+	tr.Emit(ev)
+}
+
+// emitFull uses every field run.end allows.
+func emitFull(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: obs.KindRunEnd, Dual: 1, Primal: 2, Nodes: 3})
+}
+
+// emitLateLegal writes allowed fields after the literal.
+func emitLateLegal(tr *obs.Tracer) {
+	ev := obs.Event{Kind: obs.KindOutcome}
+	ev.Rank = 4
+	ev.Str = "completed"
+	tr.Emit(ev)
+}
+
+// emitRetag reassigns the kind; run.stop also carries Open, so the
+// earlier field stays legal under both tags.
+func emitRetag(tr *obs.Tracer) {
+	ev := obs.Event{Kind: obs.KindRunStart, Open: 1}
+	ev.Kind = obs.KindRunStop
+	tr.Emit(ev)
+}
+
+// build returns an event whose kind the caller cannot see; late writes
+// on it stay unchecked rather than guessed at.
+func build() obs.Event { return obs.Event{Kind: obs.KindStatus} }
+
+func emitHelperBuilt(tr *obs.Tracer) {
+	ev := build()
+	ev.Dual = 2
+	tr.Emit(ev)
+}

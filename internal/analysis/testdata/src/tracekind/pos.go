@@ -1,0 +1,54 @@
+// Package tracekind holds fixtures for the tracekind analyzer:
+// obs.Event construction sites drifting from the trace schema. The
+// fixtures import the real repro/internal/obs so the checks run against
+// the production schema table.
+package tracekind
+
+import "repro/internal/obs"
+
+// emitTypo misspells a known kind; the analyzer suggests the nearest
+// known kind as a mechanical fix (asserted separately in the tests).
+func emitTypo(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: "despatch", Rank: 1}) // WANT tracekind
+}
+
+// emitAlien uses a kind nowhere near the schema: no fix, just the
+// pointer at the schema file.
+func emitAlien(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: "frobnicate.phase", Rank: 1}) // WANT tracekind
+}
+
+// emitBadField sets a payload field the schema does not allow for the
+// kind (comm.heartbeat carries Rank only).
+func emitBadField(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: obs.KindCommHeartbeat, Dual: 1}) // WANT tracekind
+}
+
+// emitStamped sets a tracer-stamped field from an emit site.
+func emitStamped(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: obs.KindStatus, Wall: 3}) // WANT tracekind
+}
+
+// emitNoKind sets payload fields without saying what the event is.
+func emitNoKind(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Rank: 3}) // WANT tracekind
+}
+
+// emitNonConst cannot be checked against the schema at all.
+func emitNonConst(tr *obs.Tracer, kind string) {
+	tr.Emit(obs.Event{Kind: kind, Rank: 1}) // WANT tracekind
+}
+
+// emitPositional defeats keyed checking outright.
+func emitPositional(tr *obs.Tracer) {
+	tr.Emit(obs.Event{1, 2, 3.0, obs.KindStatus, 4, 5, 6, 7, 8, 9, 10, 11, "x"}) // WANT tracekind
+}
+
+// emitAssign drifts after the literal: the interpreter tracks ev's kind
+// through the local variable, so the late Primal write is checked too.
+func emitAssign(tr *obs.Tracer) {
+	ev := obs.Event{Kind: obs.KindDispatch}
+	ev.Sub = 7
+	ev.Primal = 1 // WANT tracekind
+	tr.Emit(ev)
+}

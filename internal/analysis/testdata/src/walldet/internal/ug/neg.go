@@ -1,0 +1,41 @@
+package ug
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// emitCount launders through len: a map's size is deterministic even
+// though its iteration order is not.
+func emitCount(tr *obs.Tracer, m map[int]float64) {
+	tr.Emit(obs.Event{Kind: obs.KindStatus, Nodes: int64(len(m))})
+}
+
+// emitSortedKey sanitizes the key slice: after sort.Ints the value no
+// longer depends on iteration order.
+func emitSortedKey(tr *obs.Tracer, m map[int]float64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	tr.Emit(obs.Event{Kind: obs.KindStatus, Rank: keys[0]})
+}
+
+// emitConfig builds the payload from configuration only: durations are
+// plain values, not clock readings.
+func emitConfig(tr *obs.Tracer, every time.Duration, miss int) {
+	tr.Emit(obs.Event{Kind: obs.KindOutcome,
+		Str: fmt.Sprintf("timeout after %d x %v", miss, every)})
+}
+
+// deadlineUse consumes the clock without it reaching any sink: arming
+// deadlines and measuring cadence are the sanctioned uses.
+func deadlineUse(tr *obs.Tracer) time.Time {
+	deadline := time.Now().Add(time.Second)
+	tr.Emit(obs.Event{Kind: obs.KindRunStart, Open: 1})
+	return deadline
+}

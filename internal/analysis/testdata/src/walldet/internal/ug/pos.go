@@ -1,0 +1,80 @@
+// Package ug holds positive (pos.go) and negative (neg.go) fixtures
+// for the walldet analyzer: wall-clock, math/rand, and map-iteration
+// order taint reaching trace events and checkpoint contents. The
+// directory nests under internal/ug so the package path passes the
+// analyzer's Applies filter; obs.Event is the real event type so the
+// sink detection exercises the production type, and Checkpoint is a
+// local stand-in whose package path matches the internal/ug fragment.
+package ug
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Checkpoint mirrors the solver checkpoint shape: any tainted value
+// stored into it is a walldet sink.
+type Checkpoint struct {
+	DualBound float64
+	Note      string
+}
+
+// emitWall is the direct case: a wall-clock reading formatted straight
+// into an event payload field.
+func emitWall(tr *obs.Tracer) {
+	tr.Emit(obs.Event{Kind: obs.KindOutcome,
+		Str: time.Now().String()}) // WANT walldet
+}
+
+// jitter only exists to carry rand taint through a function summary.
+func jitter(r *rand.Rand) float64 { return r.Float64() }
+
+// emitJitter reaches the sink through jitter's return-taint summary.
+func emitJitter(tr *obs.Tracer, r *rand.Rand) {
+	tr.Emit(obs.Event{Kind: obs.KindDualBound,
+		Dual: jitter(r)}) // WANT walldet
+}
+
+// emitMaybe taints d on only one branch; the merge join must keep it.
+func emitMaybe(tr *obs.Tracer, flaky bool) {
+	d := 0.0
+	if flaky {
+		d = time.Since(time.Unix(0, 0)).Seconds()
+	}
+	tr.Emit(obs.Event{Kind: obs.KindDualBound,
+		Dual: d}) // WANT walldet
+}
+
+// emitLastKey leaks map iteration order into an event field.
+func emitLastKey(tr *obs.Tracer, m map[int]float64) {
+	var last int
+	for k := range m {
+		last = k
+	}
+	tr.Emit(obs.Event{Kind: obs.KindStatus,
+		Rank: last}) // WANT walldet
+}
+
+// stamp writes its argument into a checkpoint field: a param→sink flow
+// that fires at whichever call site passes taint in.
+func stamp(ck *Checkpoint, note string) { ck.Note = note }
+
+// save composes stamp's summary with a wall-derived argument.
+func save(start time.Time) Checkpoint {
+	var ck Checkpoint
+	stamp(&ck, fmt.Sprintf("saved after %v", time.Since(start))) // WANT walldet
+	return ck
+}
+
+// emitClosure reaches the sink inside an immediately-invoked literal:
+// the captured age must keep its taint through the inline walk.
+func emitClosure(tr *obs.Tracer) {
+	age := time.Since(time.Unix(0, 0))
+	func() {
+		tr.Emit(obs.Event{Kind: obs.KindOutcome,
+			Str: age.String()}) // WANT walldet
+	}()
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "sort"
+
+// WallDet reports wall-clock, math/rand, or map-iteration-order derived
+// values flowing into trace events or checkpoint contents — the
+// determinism contract (DESIGN.md §7: two runs of the same seed agree
+// on every trace field except Wall) checked instead of hoped. The
+// dataflow layer (dataflow.go) does the tracking: intrinsic taint
+// introduced anywhere in the module is followed through assignments,
+// calls (via per-function taint summaries) and closures to obs.Event
+// field writes and ug.Checkpoint contents; this analyzer only surfaces
+// the recorded sites for the pass's package. internal/obs itself is
+// exempt by scope: the tracer's own Wall stamping is the one sanctioned
+// wall-clock → trace path.
+var WallDet = &Analyzer{
+	Name:    "walldet",
+	Doc:     "wall-clock/math/rand/map-order derived value flows into a trace event or checkpoint",
+	Applies: isSolverCore,
+	Run:     runWallDet,
+}
+
+func runWallDet(p *Pass) {
+	type key struct {
+		pos  int
+		sink string
+	}
+	seen := map[key]bool{}
+	for _, n := range p.Mod.Funcs() {
+		if n.Pkg.PkgPath != p.PkgPath {
+			continue
+		}
+		sites := append([]taintSite(nil), n.taintSites...)
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, site := range sites {
+			k := key{int(site.pos), site.sink}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			via := ""
+			if site.via != "" {
+				via = " via " + site.via
+			}
+			p.Reportf(site.pos,
+				"%s-derived value flows into %s%s; traces and checkpoints must be deterministic modulo the tracer-stamped Wall field",
+				site.taint.describe(), site.sink, via)
+		}
+	}
+}

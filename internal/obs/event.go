@@ -66,7 +66,8 @@ const (
 	KindSolverBusy = "solver.busy"
 	// KindSolverIdle marks a ParaSolver entering the idle set: Rank.
 	KindSolverIdle = "solver.idle"
-	// KindWorkerShip is emitted ParaSolver-side when a node is shipped: Rank.
+	// KindWorkerShip is emitted ParaSolver-side when a node is shipped:
+	// Rank, Dual = shipped node's bound, Open = its depth.
 	KindWorkerShip = "worker.ship"
 	// KindWorkerSol is emitted ParaSolver-side on reporting a solution:
 	// Rank, Primal.

@@ -37,6 +37,11 @@ type Options struct {
 	// CloseTimeout bounds the graceful drain in Close before remaining
 	// connections are forced shut (default 3s).
 	CloseTimeout time.Duration
+	// WriteTimeout bounds each frame write: peer.write arms a write
+	// deadline before putting the frame on the wire, so a remote that
+	// stops reading cannot wedge the send or heartbeat loop forever
+	// (default 5s).
+	WriteTimeout time.Duration
 	// OutboxSoftCap is the per-peer outgoing queue depth beyond which
 	// the comm.net.outbox.overflow counter ticks (default 4096). The
 	// queue itself stays unbounded so Send never blocks or drops.
@@ -77,6 +82,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CloseTimeout <= 0 {
 		o.CloseTimeout = 3 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
 	}
 	if o.OutboxSoftCap <= 0 {
 		o.OutboxSoftCap = 4096
@@ -120,6 +128,12 @@ type peer struct {
 	lastIn atomic.Int64 // unix nanos of the last frame received
 	down   sync.Once
 	stop   chan struct{} // closed on teardown; ends the heartbeat loop
+	// writeTimeout arms a write deadline per frame (Options.WriteTimeout);
+	// readWindow arms a read deadline per recvLoop iteration, one
+	// heartbeat interval laxer than the heartbeat-timeout rule so the
+	// latter fires first and produces the richer peer-down cause.
+	writeTimeout time.Duration
+	readWindow   time.Duration
 }
 
 // write sends one frame and flushes. Frame writes from the send loop
@@ -127,9 +141,12 @@ type peer struct {
 func (p *peer) write(ftype byte, body []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
+	_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+	//lint:ignore chanlock frame writes are serialized under wmu by design; the write deadline above bounds how long backpressure can hold it
 	if err := writeFrame(p.bw, ftype, body); err != nil {
 		return err
 	}
+	//lint:ignore chanlock flush is part of the same deadline-bounded frame write
 	return p.bw.Flush()
 }
 
@@ -399,12 +416,14 @@ func dialOnce(addr string, rank int, opts Options, deadline time.Time) (*NetComm
 // addPeer registers a handshaken connection and starts its loops.
 func (c *NetComm) addPeer(rank int, conn net.Conn, br *bufio.Reader) {
 	p := &peer{
-		rank: rank,
-		conn: conn,
-		br:   br,
-		bw:   bufio.NewWriterSize(conn, 32<<10),
-		out:  comm.NewMailbox(),
-		stop: make(chan struct{}),
+		rank:         rank,
+		conn:         conn,
+		br:           br,
+		bw:           bufio.NewWriterSize(conn, 32<<10),
+		out:          comm.NewMailbox(),
+		stop:         make(chan struct{}),
+		writeTimeout: c.opts.WriteTimeout,
+		readWindow:   time.Duration(c.opts.HeartbeatMiss+1) * c.opts.HeartbeatEvery,
 	}
 	p.lastIn.Store(time.Now().UnixNano())
 	c.mu.Lock()
@@ -451,6 +470,7 @@ func (c *NetComm) sendLoop(p *peer) {
 	defer c.wg.Done()
 	var buf []byte
 	for {
+		//lint:ignore ctxdeadline the outgoing queue blocks by design; peerGone and Close close it, which unblocks Get
 		m, ok := p.out.Get()
 		if !ok {
 			// Queue closed and drained: every queued frame is on the
@@ -499,6 +519,10 @@ func (c *NetComm) sendLoop(p *peer) {
 func (c *NetComm) recvLoop(p *peer) {
 	defer c.wg.Done()
 	for {
+		// Re-arm the read deadline each frame: the remote heartbeats
+		// every HeartbeatEvery, so a healthy link always beats this
+		// window and a dead one cannot park the loop forever.
+		_ = p.conn.SetReadDeadline(time.Now().Add(p.readWindow))
 		ftype, body, err := readFrame(p.br)
 		if err != nil {
 			c.peerGone(p, fmt.Errorf("netcomm: read from rank %d: %w", p.rank, err))
@@ -551,7 +575,11 @@ func (c *NetComm) heartbeatLoop(p *peer) {
 			c.ins.Load().heartbeats.Inc()
 			c.trace.Emit(obs.Event{Kind: obs.KindCommHeartbeat, Rank: p.rank})
 			if age := time.Since(time.Unix(0, p.lastIn.Load())); age > miss {
-				c.peerGone(p, fmt.Errorf("netcomm: rank %d silent for %.2fs (heartbeat timeout)", p.rank, age.Seconds()))
+				// The cause text reaches the comm.peerdown trace event
+				// (walldet): state the configured rule, not the measured
+				// wall-clock age, so traces stay deterministic.
+				c.peerGone(p, fmt.Errorf("netcomm: rank %d heartbeat timeout (%d missed intervals of %v)",
+					p.rank, c.opts.HeartbeatMiss, c.opts.HeartbeatEvery))
 				return
 			}
 		}
@@ -618,6 +646,7 @@ func (c *NetComm) Send(to int, m comm.Message) {
 // termination message (From = -1, Tag = TagTermination).
 func (c *NetComm) Recv(rank int) comm.Message {
 	c.mustBeLocal(rank)
+	//lint:ignore ctxdeadline Recv's contract is to block; Close and coordinator loss close the inbox, which unblocks Get
 	m, ok := c.inbox.Get()
 	if !ok {
 		return comm.Message{From: -1, Tag: comm.TagTermination}

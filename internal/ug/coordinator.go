@@ -782,7 +782,11 @@ func (co *coordinator) dualBound() float64 {
 			lb = sub.Bound
 		}
 	}
-	for rank := range co.running {
+	// Ascending rank rather than map order: the min is the same either
+	// way, but the checkpointed/traced value should never even look
+	// order-dependent (walldet tracks this flow into run.end and
+	// Checkpoint.DualBound).
+	for _, rank := range co.runningRanks() {
 		if b, ok := co.workerBound[rank]; ok && b < lb {
 			lb = b
 		}
