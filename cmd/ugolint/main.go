@@ -9,12 +9,15 @@
 //	go run ./cmd/ugolint -analyzers floatcmp,errdrop ./...
 //	go run ./cmd/ugolint -group ./...          # findings grouped by file
 //	go run ./cmd/ugolint -json ./...           # machine-readable, with fixes
+//	go run ./cmd/ugolint -hot ./...            # hot-path allocation report
 //	go run ./cmd/ugolint -list                 # describe analyzers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,6 +33,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress the summary lines")
 		group     = flag.Bool("group", false, "group findings by file for triage")
 		asJSON    = flag.Bool("json", false, "emit findings as a JSON array (with suggested fixes where mechanical)")
+		hot       = flag.Bool("hot", false, "hot-path mode: ranked allocation table from //ugo:hotpath roots plus hotalloc findings")
 	)
 	flag.Parse()
 
@@ -75,6 +79,29 @@ func main() {
 		}
 	}
 
+	if *hot {
+		findings, rows := analysis.RunHot(pkgs)
+		if *asJSON {
+			if err := writeHotJSON(os.Stdout, findings, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "ugolint:", err)
+				os.Exit(2)
+			}
+		} else {
+			printHotTable(rows)
+			for _, f := range findings {
+				fmt.Println(f)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "ugolint: %d package(s), %d hot function(s), %d finding(s)\n",
+					len(pkgs), len(rows), len(findings))
+			}
+		}
+		if len(findings) > 0 || broken > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	findings := analysis.Run(pkgs, sel)
 	switch {
 	case *asJSON:
@@ -96,6 +123,50 @@ func main() {
 	if len(findings) > 0 || broken > 0 {
 		os.Exit(1)
 	}
+}
+
+// printHotTable renders the ranked hot-region table: hot functions by
+// estimated allocation cost per root iteration, then the audited
+// //ugo:coldpath boundaries they reference.
+func printHotTable(rows []analysis.HotRow) {
+	if len(rows) == 0 {
+		fmt.Println("no //ugo:hotpath roots found")
+		return
+	}
+	fmt.Printf("%-58s %5s %12s %12s %6s  %s\n", "FUNC", "DEPTH", "ALLOCS/CALL", "SCORE", "SITES", "VIA")
+	for _, r := range rows {
+		if r.Depth < 0 {
+			fmt.Printf("%-58s %5s %12.1f %12s %6s  coldpath: %s\n", r.Func, "cold", r.AllocsPerCall, "-", "-", r.Cold)
+			continue
+		}
+		fmt.Printf("%-58s %5d %12.1f %12.1f %6d  %s\n", r.Func, r.Depth, r.AllocsPerCall, r.Score, r.Sites, r.Via)
+	}
+}
+
+// writeHotJSON emits the hot report and findings as one JSON object.
+func writeHotJSON(w io.Writer, findings []analysis.Finding, rows []analysis.HotRow) error {
+	type hotRow struct {
+		Func          string  `json:"func"`
+		Depth         int     `json:"depth"`
+		AllocsPerCall float64 `json:"allocs_per_call"`
+		Score         float64 `json:"score"`
+		Sites         int     `json:"sites"`
+		Via           string  `json:"via,omitempty"`
+		Cold          string  `json:"cold,omitempty"`
+	}
+	out := struct {
+		Hot      []hotRow           `json:"hot"`
+		Findings []analysis.Finding `json:"findings"`
+	}{Hot: make([]hotRow, 0, len(rows)), Findings: findings}
+	if out.Findings == nil {
+		out.Findings = []analysis.Finding{}
+	}
+	for _, r := range rows {
+		out.Hot = append(out.Hot, hotRow(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // printPerAnalyzer writes one summary line per selected analyzer (plus

@@ -98,8 +98,9 @@ type Analyzer struct {
 
 // All returns the full analyzer set in stable order: the six
 // intraprocedural analyzers from the first generation, the four
-// interprocedural ones built on the call-graph summaries, then the four
-// dataflow/taint analyzers built on the value-level layer.
+// interprocedural ones built on the call-graph summaries, the four
+// dataflow/taint analyzers built on the value-level layer, then the
+// hot-path allocation analyzer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -116,6 +117,7 @@ func All() []*Analyzer {
 		CtxDeadline,
 		TraceKind,
 		ChanLock,
+		HotAlloc,
 	}
 }
 

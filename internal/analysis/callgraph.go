@@ -49,6 +49,11 @@ type FuncNode struct {
 	// ctxdeadline's I/O-parameter summary: which parameters the
 	// function performs raw network-style reads/writes on.
 	ioParams []ioKind
+
+	// hotalloc layer results (hotalloc.go): directives, allocation
+	// sites, per-callee minimum loop depth, and the converged hot
+	// depth / allocs-per-call estimate.
+	hot hotInfo
 }
 
 // Name returns a stable human-readable identifier: the type-qualified
@@ -117,6 +122,7 @@ func BuildModule(pkgs []*Package) *Module {
 	computeSummaries(m)
 	computeTaintSummaries(m)
 	computeIOParams(m)
+	computeHotAlloc(m)
 	return m
 }
 

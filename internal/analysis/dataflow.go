@@ -173,6 +173,15 @@ type flowState interface {
 	expr(ast.Expr)
 }
 
+// loopAware is an optional flowState extension: a client implementing
+// it is told when the driver enters and leaves a loop body, bracketing
+// the two body runs. hotalloc uses this to track syntactic loop depth
+// without re-implementing the statement dispatch.
+type loopAware interface {
+	enterLoop()
+	exitLoop()
+}
+
 // flowStmts runs the driver over a statement list.
 func flowStmts(list []ast.Stmt, env flowState) {
 	for _, st := range list {
@@ -206,6 +215,10 @@ func flowStmt(st ast.Stmt, env flowState) {
 		if s.Cond != nil {
 			env.expr(s.Cond)
 		}
+		la, _ := env.(loopAware)
+		if la != nil {
+			la.enterLoop()
+		}
 		for i := 0; i < 2; i++ {
 			it := env.fork()
 			flowStmts(s.Body.List, it)
@@ -217,12 +230,22 @@ func flowStmt(st ast.Stmt, env flowState) {
 			}
 			env.merge(it)
 		}
+		if la != nil {
+			la.exitLoop()
+		}
 	case *ast.RangeStmt:
 		env.leaf(s) // header: range expression + key/value binding
+		la, _ := env.(loopAware)
+		if la != nil {
+			la.enterLoop()
+		}
 		for i := 0; i < 2; i++ {
 			it := env.fork()
 			flowStmts(s.Body.List, it)
 			env.merge(it)
+		}
+		if la != nil {
+			la.exitLoop()
 		}
 	case *ast.SwitchStmt:
 		if s.Init != nil {

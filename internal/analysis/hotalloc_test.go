@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotAllocFixture(t *testing.T) { checkFixture(t, HotAlloc, "hotalloc") }
+
+// TestHotAllocDirectives asserts the malformed-directive findings by
+// message: they land on the directive comment line, which cannot carry
+// a WANT marker without changing the directive text itself.
+func TestHotAllocDirectives(t *testing.T) {
+	pkg := loadFixture(t, "hotallocdir")
+	var got []string
+	for _, f := range RunPackage(pkg, []*Analyzer{HotAlloc}) {
+		got = append(got, f.Message)
+	}
+	want := []string{
+		`unknown //ugo:hotpath argument "turbo"`,
+		"//ugo:coldpath needs an audit reason",
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing directive finding containing %q in %v", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d findings %v, want %d", len(got), got, len(want))
+	}
+}
+
+// TestHotDepthAndReport pins the hot-region lattice on the fixture
+// package: root depths, loop-depth propagation into helpers, coldpath
+// boundaries, and the ranked report.
+func TestHotDepthAndReport(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc")
+	mod := BuildModule([]*Package{pkg})
+
+	depths := map[string]int{
+		"process": 1,  // //ugo:hotpath root
+		"helper":  2,  // called from process's loop
+		"drive":   0,  // //ugo:hotpath driver owns the loop
+		"consume": 1,  // called from drive's loop
+		"record":  -1, // //ugo:coldpath boundary
+		"frozen":  -1, // unreachable from any root
+	}
+	for name, want := range depths {
+		n := mod.FuncByName("hotalloc." + name)
+		if n == nil {
+			t.Fatalf("function %s not found", name)
+		}
+		if got := n.HotDepth(); got != want {
+			t.Errorf("HotDepth(%s) = %d, want %d", name, got, want)
+		}
+	}
+
+	if a := mod.FuncByName("hotalloc.process").Alloc(); a.AllocsPerCall <= 0 {
+		t.Errorf("process AllocsPerCall = %v, want > 0", a.AllocsPerCall)
+	}
+	if a := mod.FuncByName("hotalloc.frozen").Alloc(); a.AllocsPerCall <= 0 {
+		t.Errorf("frozen AllocsPerCall = %v, want > 0 (estimates exist even for cold code)", a.AllocsPerCall)
+	}
+
+	rows := HotRows(mod)
+	var sawProcess, sawBoundary bool
+	for _, r := range rows {
+		if strings.HasSuffix(r.Func, "hotalloc.process") {
+			sawProcess = true
+			if r.Depth != 1 || r.AllocsPerCall <= 0 || r.Sites == 0 {
+				t.Errorf("process row = %+v", r)
+			}
+		}
+		if strings.HasSuffix(r.Func, "hotalloc.record") {
+			sawBoundary = true
+			if r.Depth != -1 || r.Cold == "" {
+				t.Errorf("record boundary row = %+v", r)
+			}
+		}
+		if strings.HasSuffix(r.Func, "hotalloc.frozen") {
+			t.Errorf("cold unreferenced function in report: %+v", r)
+		}
+	}
+	if !sawProcess || !sawBoundary {
+		t.Errorf("report missing rows: process=%v boundary=%v (rows %v)", sawProcess, sawBoundary, rows)
+	}
+}
+
+// HotRows is a test seam over Module.HotReport.
+func HotRows(m *Module) []HotRow { return m.HotReport() }

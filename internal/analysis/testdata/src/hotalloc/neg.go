@@ -1,0 +1,103 @@
+// Negative cases: sanctioned reuse idioms, audited boundaries, and
+// suppressions — none of these may produce findings.
+package hotalloc
+
+// sanctioned shows the recognized buffer-reuse idioms: reset-and-append
+// over x[:0], appends rooted at a struct field or a caller-provided
+// parameter, and a capacity-guarded grow.
+//
+//ugo:hotpath
+func sanctioned(s *store, dst []int, n int) []int {
+	s.scratch = append(s.scratch[:0], 1, 2)
+	s.scratch = append(s.scratch, 3)
+	dst = append(dst, 4)
+	buf := dst
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	return buf
+}
+
+// install grows scratch on demand: a make whose result lands on a
+// struct field is an amortized one-time cost, not a steady-state leak.
+//
+//ugo:hotpath
+func install(s *store, n int) {
+	if cap(s.scratch) < n {
+		s.scratch = make([]int, n)
+	}
+	s.scratch = s.scratch[:n]
+}
+
+type dedup struct {
+	seen map[int]bool
+}
+
+// mark reuses a clear()ed map: writes cannot grow it beyond its
+// high-water mark, so they are not charged.
+//
+//ugo:hotpath
+func (d *dedup) mark(ids []int) {
+	clear(d.seen)
+	for _, id := range ids {
+		d.seen[id] = true
+	}
+}
+
+// guarded allocates only on an early-return path: at most once per
+// call, so error/teardown construction stays quiet.
+//
+//ugo:hotpath
+func guarded(xs []int) []int {
+	if len(xs) == 0 {
+		return []int{0}
+	}
+	xs[0]++
+	return xs
+}
+
+// audited suppresses a true finding with an explicit reason.
+//
+//ugo:hotpath
+func audited() *item {
+	//lint:ignore hotalloc deliberate per-call allocation, the caller owns the result
+	return &item{id: 7}
+}
+
+// drive owns the hot loop itself: top-level setup before the loop is
+// depth 0 and not charged; only allocation inside the loop would be.
+//
+//ugo:hotpath driver
+func drive(s *store, items []*item) int {
+	setup := make([]int, 8)
+	total := len(setup)
+	for _, it := range items {
+		s.scratch = append(s.scratch[:0], it.id)
+		total += consume(it)
+	}
+	return total
+}
+
+func consume(it *item) int {
+	return it.id * 2
+}
+
+// hotWithBoundary calls an audited cold boundary: propagation stops at
+// record, so its map literal is not charged.
+//
+//ugo:hotpath
+func hotWithBoundary(s *store) {
+	record(s)
+}
+
+// record is a once-per-incumbent slow path.
+//
+//ugo:coldpath once per improving incumbent, off the steady-state path
+func record(s *store) {
+	s.lookup = map[string]int{"last": 1}
+}
+
+// frozen is never reached from a hot root: allocate freely.
+func frozen() []int {
+	return append([]int(nil), 1, 2, 3)
+}

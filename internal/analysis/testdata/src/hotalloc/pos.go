@@ -1,0 +1,123 @@
+// Package hotalloc exercises the hot-path allocation analyzer:
+// positive cases (charged allocation sites in hot regions) live here,
+// sanctioned reuse idioms in neg.go.
+package hotalloc
+
+import "container/heap"
+
+type item struct {
+	id  int
+	buf []byte
+}
+
+type store struct {
+	scratch []int
+	lookup  map[string]int
+}
+
+// process is a per-iteration hot root: it runs once per node, so even
+// top-level allocations are charged.
+//
+//ugo:hotpath
+func process(s *store, it *item) int {
+	out := make([]int, 0, 4) // WANT hotalloc
+	for i := 0; i < 4; i++ {
+		out = append(out, i) // WANT hotalloc
+	}
+	p := &item{id: 1} // WANT hotalloc
+	total := p.id
+	for _, v := range out {
+		total += helper(v)
+	}
+	return total
+}
+
+// helper looks cold on its own, but process calls it from a loop: the
+// interprocedural pass charges it at hot depth 2.
+func helper(v int) int {
+	xs := []int{v, v + 1} // WANT hotalloc
+	return xs[0] + xs[1]
+}
+
+//ugo:hotpath
+func concat(it *item, suffix string) string {
+	return "item:" + suffix // WANT hotalloc
+}
+
+//ugo:hotpath
+func boxed(it *item) {
+	describe(it.id) // WANT hotalloc
+}
+
+func describe(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+//ugo:hotpath
+func boxAssign(vals []int) any {
+	var out any
+	for _, v := range vals {
+		out = v // WANT hotalloc
+	}
+	return out
+}
+
+//ugo:hotpath
+func tostr(b []byte) string {
+	return string(b) // WANT hotalloc
+}
+
+//ugo:hotpath
+func fresh() *item {
+	return new(item) // WANT hotalloc
+}
+
+//ugo:hotpath
+func rehash(s *store, keys []string) {
+	for i, k := range keys {
+		s.lookup[k] = i // WANT hotalloc
+	}
+}
+
+//ugo:hotpath
+func closures(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		f := func() int { return x * 2 } // WANT hotalloc
+		total += f()
+	}
+	return total
+}
+
+//ugo:hotpath
+func spawny(items []*item) {
+	for _, it := range items {
+		go describe(it.id) // WANT hotalloc
+	}
+}
+
+//ugo:hotpath
+func localMap(keys []string) int {
+	m := make(map[string]int, len(keys)) // WANT hotalloc
+	for i, k := range keys {
+		m[k] = i // write to a locally-made map: the make above is the charged site
+	}
+	return len(m)
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+//ugo:hotpath
+func useHeap(h *intHeap) int {
+	heap.Push(h, 3) // WANT hotalloc
+	return h.Len()
+}

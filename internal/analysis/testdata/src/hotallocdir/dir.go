@@ -1,0 +1,20 @@
+// Package hotallocdir holds malformed //ugo: directives; the directive
+// findings land on the comment line itself, which cannot carry a WANT
+// marker without changing the directive text, so TestHotAllocDirectives
+// asserts these by message instead.
+package hotallocdir
+
+// badArg has an unknown hotpath argument.
+//
+//ugo:hotpath turbo
+func badArg() {}
+
+// badCold is missing the mandatory audit reason.
+//
+//ugo:coldpath
+func badCold() {}
+
+// fine is a well-formed root for contrast.
+//
+//ugo:hotpath
+func fine() {}

@@ -1,0 +1,44 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkLPResolve measures the warm re-solve path: bounds flip
+// between iterations the way branch and bound toggles them, and the
+// solver re-solves from the previous basis. Per-iteration simplex
+// scratch (alpha rows, ftran/btran work vectors, pricing arrays) is
+// what the hotalloc fixes hoist into reusable solver buffers.
+func BenchmarkLPResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem()
+	n, m := 30, 20
+	for j := 0; j < n; j++ {
+		p.AddVar(0, 10, rng.Float64()*2-1)
+	}
+	for i := 0; i < m; i++ {
+		var coefs []Nonzero
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				coefs = append(coefs, Nonzero{Col: j, Val: rng.Float64()*4 - 2})
+			}
+		}
+		p.AddRow(LE, 5+rng.Float64()*10, coefs)
+	}
+	s := NewSolver(p)
+	if sol := s.Solve(); sol.Status != Optimal {
+		b.Fatalf("cold solve status = %v", sol.Status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		if i%2 == 0 {
+			s.SetBound(j, 0, 1)
+		} else {
+			s.SetBound(j, 0, 10)
+		}
+		s.Solve()
+	}
+}

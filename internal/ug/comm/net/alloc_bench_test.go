@@ -1,0 +1,39 @@
+package netcomm
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/ug/comm"
+)
+
+// BenchmarkFrameRoundTrip measures one data-frame encode/write/read/
+// decode cycle — the steady-state work of sendLoop and recvLoop. The
+// hotalloc fixes reuse the frame body buffer across reads; the decoded
+// payload copy remains (ownership transfers to the mailbox).
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xAB}, 256)
+	m := comm.Message{From: 3, Tag: 7, Payload: payload}
+	var body []byte
+	var wire bytes.Buffer
+	r := bufio.NewReader(&wire)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body = AppendMessage(body[:0], m, int64(i))
+		wire.Reset()
+		if err := writeFrame(&wire, frameData, body); err != nil {
+			b.Fatal(err)
+		}
+		r.Reset(&wire)
+		ftype, got, err := readFrame(r)
+		if err != nil || ftype != frameData {
+			b.Fatalf("readFrame: type=%d err=%v", ftype, err)
+		}
+		dm, _, err := DecodeMessage(got)
+		if err != nil || len(dm.Payload) != len(payload) {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}
