@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-json lint-fix-list race fmt check trace-smoke net-smoke profile-smoke
+.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke
 
 build:
 	go build ./...
@@ -18,6 +18,12 @@ lint:
 # still 1 when anything is found.
 lint-json:
 	go run ./cmd/ugolint -json ./...
+
+# bench-hot regenerates BENCH_hotpath.json, the hot-path allocation
+# ledger: the scip/lp/comm-net allocation benchmarks at HEAD~1 vs the
+# working tree, side by side (see scripts/bench_hot.sh and ugolint -hot).
+bench-hot:
+	./scripts/bench_hot.sh
 
 # lint-fix-list prints findings grouped by file with per-file counts —
 # the triage view for working down a backlog. Always exits 0 so it can

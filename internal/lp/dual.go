@@ -9,6 +9,8 @@ import "math"
 // infeasible. Reduced costs are maintained incrementally (refreshed
 // after refactorizations) so an iteration costs O(Σnnz + m) plus the
 // O(m²) ftran/pivot work.
+//
+//ugo:hotpath driver
 func (s *Solver) dualSimplex() Status {
 	limit := s.maxIters()
 	s.refreshPricing()

@@ -94,6 +94,8 @@ func (s *Solver) applyStep(enter int, dir, t float64, w []float64) {
 
 // primalPhase2 runs the bounded-variable primal simplex from a primal
 // feasible basis until optimality or unboundedness.
+//
+//ugo:hotpath driver
 func (s *Solver) primalPhase2() Status {
 	limit := s.maxIters()
 	noProgress := 0
@@ -178,6 +180,8 @@ func (s *Solver) primalPhase2() Status {
 // variables above their upper bound get cost +1, below their lower bound
 // cost −1. Returns Optimal when a primal feasible basis is found,
 // Infeasible when the phase-1 optimum is positive.
+//
+//ugo:hotpath driver
 func (s *Solver) primalPhase1() Status {
 	limit := s.maxIters()
 	noProgress := 0
@@ -190,8 +194,11 @@ func (s *Solver) primalPhase1() Status {
 		if inf <= feasTol {
 			return Optimal
 		}
-		// Phase-1 cost on basics.
-		cb := make([]float64, s.m)
+		// Phase-1 cost on basics (reused buffer; zero it first because
+		// only violated rows get a nonzero cost).
+		s.cbBuf = grow(s.cbBuf, s.m)
+		cb := s.cbBuf
+		clear(cb)
 		for i, j := range s.basis {
 			if s.xb[i] > s.up[j]+feasTol {
 				cb[i] = 1

@@ -51,14 +51,38 @@ type Solver struct {
 	// current (invalidated by refactorization and structural changes).
 	d      []float64
 	dValid bool
+
+	// Per-iteration simplex scratch, reused across pivots and re-solves.
+	// Every user fully overwrites its buffer before reading it; alphaBuf,
+	// ftranBuf and btranBuf are distinct because an iteration holds an
+	// alpha row and an ftran column (and, in phase 1, a btran result)
+	// live at the same time.
+	alphaBuf []float64
+	ftranBuf []float64
+	btranBuf []float64
+	cbBuf    []float64
+	rcBuf    []float64
+	rhsBuf   []float64
+}
+
+// grow returns buf resized to n, reallocating only when capacity is
+// short. Contents are unspecified: callers must overwrite every entry
+// they read.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // alphaRow computes α_j = (e_rᵀ B⁻¹) A_j for every column (the pivot row
-// of the full tableau), in O(Σnnz + m) using the sparse columns.
+// of the full tableau), in O(Σnnz + m) using the sparse columns. The
+// result aliases s.alphaBuf and is valid until the next call.
 func (s *Solver) alphaRow(r int) []float64 {
 	er := s.binv[r]
 	total := s.n + s.m
-	alpha := make([]float64, total)
+	s.alphaBuf = grow(s.alphaBuf, total)
+	alpha := s.alphaBuf
 	for j := 0; j < s.n; j++ {
 		var acc float64
 		for _, e := range s.cols[j] {
@@ -90,9 +114,13 @@ func (s *Solver) updatePricing(enter, leave int, alpha []float64) {
 }
 
 // refreshPricing (re)computes the cached reduced costs from scratch.
+// The result is copied into the persistent s.d: reducedCosts returns
+// solver scratch, and s.d must survive later scratch reuse because
+// updatePricing maintains it incrementally across pivots.
 func (s *Solver) refreshPricing() {
 	d, _ := s.reducedCosts()
-	s.d = d
+	s.d = grow(s.d, len(d))
+	copy(s.d, d)
 	s.dValid = true
 }
 
@@ -286,9 +314,11 @@ func (s *Solver) entryAt(j, row int) float64 {
 	return 0
 }
 
-// ftran computes w = B⁻¹ A_j.
+// ftran computes w = B⁻¹ A_j. The result aliases s.ftranBuf and is
+// valid until the next call.
 func (s *Solver) ftran(j int) []float64 {
-	w := make([]float64, s.m)
+	s.ftranBuf = grow(s.ftranBuf, s.m)
+	w := s.ftranBuf
 	if j >= s.n {
 		r := j - s.n
 		for i := 0; i < s.m; i++ {
@@ -307,9 +337,11 @@ func (s *Solver) ftran(j int) []float64 {
 	return w
 }
 
-// btran computes yᵀ = vᵀ B⁻¹ for a length-m vector v.
+// btran computes yᵀ = vᵀ B⁻¹ for a length-m vector v. The result
+// aliases s.btranBuf and is valid until the next call.
 func (s *Solver) btran(v []float64) []float64 {
-	y := make([]float64, s.m)
+	s.btranBuf = grow(s.btranBuf, s.m)
+	y := s.btranBuf
 	for k := 0; k < s.m; k++ {
 		var acc float64
 		for i := 0; i < s.m; i++ {
@@ -343,7 +375,9 @@ func (s *Solver) nonbasicValue(j int) float64 {
 // computeXB recomputes the basic variable values from scratch:
 // x_B = B⁻¹ (b − N x_N).
 func (s *Solver) computeXB() {
-	rhs := append([]float64(nil), s.b...)
+	s.rhsBuf = grow(s.rhsBuf, len(s.b))
+	rhs := s.rhsBuf
+	copy(rhs, s.b)
 	total := s.n + s.m
 	for j := 0; j < total; j++ {
 		if s.state[j] == stBasic {
@@ -374,6 +408,8 @@ func (s *Solver) computeXB() {
 }
 
 // resetSlackBasis installs the all-slack basis.
+//
+//ugo:coldpath first-solve basis install and numerical recovery, not steady state
 func (s *Solver) resetSlackBasis() {
 	s.basis = make([]int, s.m)
 	s.binv = make([][]float64, s.m)
@@ -407,6 +443,8 @@ func (s *Solver) resetSlackBasis() {
 
 // refactorize rebuilds B⁻¹ from the basis columns with Gauss–Jordan
 // elimination; returns false if the basis matrix is singular.
+//
+//ugo:coldpath amortized: rebuilds the basis inverse once per 400 pivots
 func (s *Solver) refactorize() bool {
 	m := s.m
 	// Build [B | I] and reduce.
@@ -498,17 +536,21 @@ func (s *Solver) pivot(r, enter int, w []float64, leaveState int8) {
 }
 
 // reducedCosts returns d_j = c_j − yᵀA_j for every column, with
-// y = c_Bᵀ B⁻¹ (also returned).
+// y = c_Bᵀ B⁻¹ (also returned). Both results alias solver scratch
+// (s.rcBuf / s.btranBuf): callers that keep them must copy.
 func (s *Solver) reducedCosts() (d, y []float64) {
-	cb := make([]float64, s.m)
+	s.cbBuf = grow(s.cbBuf, s.m)
+	cb := s.cbBuf
 	for i, j := range s.basis {
 		cb[i] = s.c[j]
 	}
 	y = s.btran(cb)
 	total := s.n + s.m
-	d = make([]float64, total)
+	s.rcBuf = grow(s.rcBuf, total)
+	d = s.rcBuf
 	for j := 0; j < total; j++ {
 		if s.state[j] == stBasic {
+			d[j] = 0 // reused buffer: stale entries must be cleared
 			continue
 		}
 		var yaj float64
@@ -598,7 +640,11 @@ func (s *Solver) Solve() *Solution {
 	return s.finish(st)
 }
 
-// finish assembles a Solution from the current state.
+// finish assembles a Solution from the current state. The Solution and
+// its slices are freshly allocated: ownership transfers to the caller,
+// which may hold them across later re-solves.
+//
+//ugo:coldpath builds the returned Solution once per solve; the caller owns it
 func (s *Solver) finish(st Status) *Solution {
 	sol := &Solution{Status: st, Iters: s.iters}
 	if st != Optimal {
@@ -619,8 +665,9 @@ func (s *Solver) finish(st Status) *Solution {
 		obj += s.c[j] * x[j]
 	}
 	sol.Obj = obj
+	// reducedCosts returns solver scratch; the Solution gets copies.
 	d, y := s.reducedCosts()
-	sol.Duals = y
-	sol.RedCosts = d[:s.n:s.n]
+	sol.Duals = append([]float64(nil), y...)
+	sol.RedCosts = append([]float64(nil), d[:s.n]...)
 	return sol
 }

@@ -46,6 +46,8 @@ type Conshdlr struct{}
 func (*Conshdlr) Name() string { return "sdpcone" }
 
 // Check implements scip.Conshdlr.
+//
+//ugo:coldpath cone feasibility check runs once per candidate incumbent and is dominated by the eigensolve
 func (*Conshdlr) Check(ctx *scip.Ctx, x []float64) bool {
 	p := ctx.Data.(*Instance).P
 	for _, blk := range p.Blocks {
@@ -61,6 +63,8 @@ func (*Conshdlr) Check(ctx *scip.Ctx, x []float64) bool {
 // cut for the most violated block (the cutting-plane approach); in SDP
 // mode the relaxator already guarantees cone feasibility, so reaching
 // this point defers to branching.
+//
+//ugo:coldpath eigenvector-cut synthesis is dominated by the dense eigensolve; its matrix scratch is block-sized and audited with the linalg kernels
 func (*Conshdlr) Enforce(ctx *scip.Ctx, x []float64) scip.Result {
 	if !ctx.Settings().UseLP {
 		return scip.DidNothing
@@ -96,6 +100,8 @@ type Separator struct {
 func (*Separator) Name() string { return "eigcut" }
 
 // Separate implements scip.Separator.
+//
+//ugo:coldpath eigencut separation is budget-capped by the solver and dominated by the eigensolve, not by its allocations
 func (s *Separator) Separate(ctx *scip.Ctx) scip.Result {
 	if ctx.LPSol == nil || !ctx.Settings().UseLP {
 		return scip.DidNotRun
@@ -141,6 +147,8 @@ type Relaxator struct {
 func (*Relaxator) Name() string { return "sdprelax" }
 
 // Relax implements scip.Relaxator.
+//
+//ugo:coldpath each relaxation is a full interior-point SDP solve whose factorization workspaces dwarf the setup allocations flagged here
 func (r *Relaxator) Relax(ctx *scip.Ctx) (float64, []float64, scip.Result) {
 	if ctx.Settings().UseLP {
 		return math.Inf(-1), nil, scip.DidNotRun
@@ -171,6 +179,8 @@ type Heuristic struct {
 func (*Heuristic) Name() string { return "fixround" }
 
 // Search implements scip.Heuristic.
+//
+//ugo:coldpath rounding heuristic is frequency-gated and copies one candidate vector per attempt
 func (h *Heuristic) Search(ctx *scip.Ctx) scip.Result {
 	var base []float64
 	if ctx.RelaxX != nil {
@@ -314,6 +324,8 @@ type Propagator struct{}
 func (*Propagator) Name() string { return "linprop" }
 
 // Propagate implements scip.Propagator.
+//
+//ugo:coldpath linear-row propagation mutates bounds in place; runs only until the per-node fixpoint
 func (*Propagator) Propagate(ctx *scip.Ctx) scip.Result {
 	p := ctx.Data.(*Instance).P
 	changed := false

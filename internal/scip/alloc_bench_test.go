@@ -35,8 +35,44 @@ func BenchmarkProcessNode(b *testing.B) {
 		n := s.tree.pop()
 		s.processNode(n)
 		for c := s.tree.pop(); c != nil; c = s.tree.pop() {
-			_ = c
+			s.finishNode(c) // recycle, as the solve loop would
 		}
+	}
+}
+
+// TestProcessNodeZeroAlloc pins the nil-Trace steady state promised in
+// the Solver.Trace doc comment: with tracing off, processing a node —
+// pop, activate, builtin branching, child creation, recycle — performs
+// zero heap allocations once the node pool and tree are warm.
+func TestProcessNodeZeroAlloc(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2, 9, 4, 6}
+	weights := []float64{5, 6, 3, 4, 1, 5, 2, 3}
+	p := knapsackProb(values, weights, 14)
+	set := DefaultSettings()
+	set.UseLP = false
+	set.NodeSel = DepthFirst
+	s := NewSolver(p, set, nil)
+
+	root := &Node{ID: 0, Bound: math.Inf(-1)}
+	mid := &Node{ID: 1, Depth: 1, Bound: math.Inf(-1), Parent: root,
+		BoundChgs: []BoundChg{{Var: 0, Lo: 1, Up: 1}}}
+	leaf := &Node{ID: 2, Depth: 2, Bound: math.Inf(-1), Parent: mid,
+		BoundChgs: []BoundChg{{Var: 1, Lo: 0, Up: 0}}}
+	s.nextNodeID = 2
+
+	run := func() {
+		s.tree.push(leaf)
+		n := s.tree.pop()
+		s.processNode(n)
+		for c := s.tree.pop(); c != nil; c = s.tree.pop() {
+			s.finishNode(c)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		run() // warm the node pool, path scratch and tree capacity
+	}
+	if allocs := testing.AllocsPerRun(200, run); allocs > 0 {
+		t.Fatalf("processNode allocates %v per node on the nil-Trace path, want 0", allocs)
 	}
 }
 

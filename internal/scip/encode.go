@@ -34,7 +34,9 @@ func (s *Solver) ExtractBestOpen() *Subprob {
 	if n == nil {
 		return nil
 	}
-	return s.encodeNode(n)
+	sub := s.encodeNode(n)
+	s.finishNode(n) // subtree ownership transferred: recycle the node
+	return sub
 }
 
 // ExtractAllOpen drains every open node in transferable form — used when
@@ -44,6 +46,9 @@ func (s *Solver) ExtractAllOpen() []*Subprob {
 	out := make([]*Subprob, 0, len(nodes))
 	for _, n := range nodes {
 		out = append(out, s.encodeNode(n))
+	}
+	for _, n := range nodes {
+		s.finishNode(n)
 	}
 	return out
 }

@@ -1,11 +1,10 @@
 package scip
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
-	"strings"
+	"strconv"
 	"time"
 
 	"repro/internal/lp"
@@ -109,6 +108,8 @@ type Solver struct {
 	baseRows  int
 	cutOrigin []int64 // origin node ID per cut row (-1 = globally valid)
 	cutKeys   map[string]bool
+	cutSort   cutSorter
+	cutBuf    []byte
 
 	tree       *tree
 	nextNodeID int64
@@ -116,6 +117,14 @@ type Solver struct {
 	curBound   float64 // bound of node being processed (for GlobalLB)
 
 	localLo, localUp []float64
+
+	// Per-node scratch, reused across processNode calls so the steady
+	// state allocates nothing (see TestProcessNodeZeroAlloc).
+	pathScratch []*Node
+	decScratch  []Decision
+	ancScratch  map[int64]bool
+	nodeCtx     Ctx
+	freeNodes   []*Node // recycled Node pool (see finishNode)
 
 	Stats   Stats
 	start   time.Time
@@ -173,20 +182,24 @@ func NewSolver(prob *Prob, set Settings, plug *Plugins) *Solver {
 }
 
 // addCut appends a cutting-plane row; origin < 0 marks it globally
-// valid. Duplicate global cuts are skipped (returns false).
+// valid. Duplicate global cuts are skipped (returns false). Row
+// installation allocates by design (the LP grows); the dedup
+// fingerprint itself runs out of reused buffers.
+//
+//ugo:coldpath one row install per accepted cut, bounded by the cut budget
 func (s *Solver) addCut(sense lp.Sense, rhs float64, coefs []lp.Nonzero, origin int64) bool {
 	if !s.Set.UseLP {
 		return false
 	}
 	if origin < 0 {
-		key := cutKey(sense, rhs, coefs)
+		key := s.cutKey(sense, rhs, coefs)
 		if s.cutKeys == nil {
 			s.cutKeys = map[string]bool{}
 		}
-		if s.cutKeys[key] {
+		if s.cutKeys[string(key)] { // no-copy map probe
 			return false
 		}
-		s.cutKeys[key] = true
+		s.cutKeys[string(key)] = true
 	}
 	s.lps.AddRow(sense, rhs, coefs)
 	s.cutOrigin = append(s.cutOrigin, origin)
@@ -194,19 +207,43 @@ func (s *Solver) addCut(sense lp.Sense, rhs float64, coefs []lp.Nonzero, origin 
 	return true
 }
 
+// cutSorter orders coefficient indices by column; a concrete
+// sort.Interface kept on the solver so fingerprinting does not rebuild
+// closures per cut.
+type cutSorter struct {
+	idx   []int
+	coefs []lp.Nonzero
+}
+
+func (c *cutSorter) Len() int           { return len(c.idx) }
+func (c *cutSorter) Less(a, b int) bool { return c.coefs[c.idx[a]].Col < c.coefs[c.idx[b]].Col }
+func (c *cutSorter) Swap(a, b int)      { c.idx[a], c.idx[b] = c.idx[b], c.idx[a] }
+
 // cutKey builds a canonical fingerprint of a row for deduplication.
-func cutKey(sense lp.Sense, rhs float64, coefs []lp.Nonzero) string {
-	idx := make([]int, len(coefs))
-	for i := range coefs {
-		idx[i] = i
+// The returned bytes alias s.cutBuf and are valid until the next call.
+func (s *Solver) cutKey(sense lp.Sense, rhs float64, coefs []lp.Nonzero) []byte {
+	if cap(s.cutSort.idx) < len(coefs) {
+		s.cutSort.idx = make([]int, len(coefs))
 	}
-	sort.Slice(idx, func(a, b int) bool { return coefs[idx[a]].Col < coefs[idx[b]].Col })
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%.9g", sense, rhs)
-	for _, i := range idx {
-		fmt.Fprintf(&b, ";%d:%.9g", coefs[i].Col, coefs[i].Val)
+	s.cutSort.idx = s.cutSort.idx[:len(coefs)]
+	for i := range s.cutSort.idx {
+		s.cutSort.idx[i] = i
 	}
-	return b.String()
+	s.cutSort.coefs = coefs
+	sort.Sort(&s.cutSort)
+	b := s.cutBuf[:0]
+	b = strconv.AppendInt(b, int64(sense), 10)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, rhs, 'g', 9, 64)
+	for _, i := range s.cutSort.idx {
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(coefs[i].Col), 10)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, coefs[i].Val, 'g', 9, 64)
+	}
+	s.cutBuf = b
+	s.cutSort.coefs = nil
+	return b
 }
 
 // cutoffValue returns the pruning threshold derived from the incumbent.
@@ -313,6 +350,8 @@ func (s *Solver) verifyGlobal(x []float64) bool {
 }
 
 // submitSolution validates and possibly installs a new incumbent.
+//
+//ugo:coldpath runs once per improving incumbent, off the steady-state path
 func (s *Solver) submitSolution(x []float64, verify bool) bool {
 	var obj float64
 	for j := range s.Prob.Vars {
@@ -333,20 +372,21 @@ func (s *Solver) submitSolution(x []float64, verify bool) bool {
 	}
 	s.incumbent = &Sol{Obj: obj, X: xr}
 	s.Stats.SolsFound++
-	s.tree.prune(s.cutoffValue())
+	for _, m := range s.tree.prune(s.cutoffValue()) {
+		s.finishNode(m)
+	}
 	return true
 }
 
-// effectiveBounds computes the bounds at node n by walking the root path.
-func (s *Solver) effectiveBounds(n *Node) (lo, up []float64) {
-	nv := len(s.Prob.Vars)
-	lo = make([]float64, nv)
-	up = make([]float64, nv)
+// effectiveBoundsInto computes the bounds at node n by walking the
+// root path, writing every entry of lo/up (len == number of vars).
+func (s *Solver) effectiveBoundsInto(n *Node, lo, up []float64) {
 	for j := range s.Prob.Vars {
 		lo[j] = s.Prob.Vars[j].Lo
 		up[j] = s.Prob.Vars[j].Up
 	}
-	for _, nd := range n.path() {
+	s.pathScratch = n.pathInto(s.pathScratch)
+	for _, nd := range s.pathScratch {
 		for _, bc := range nd.BoundChgs {
 			if bc.Lo > lo[bc.Var] {
 				lo[bc.Var] = bc.Lo
@@ -356,37 +396,48 @@ func (s *Solver) effectiveBounds(n *Node) (lo, up []float64) {
 			}
 		}
 	}
+}
+
+// effectiveBounds is the allocating variant of effectiveBoundsInto,
+// used off the solve loop (subproblem encoding) where the caller keeps
+// the slices.
+func (s *Solver) effectiveBounds(n *Node) (lo, up []float64) {
+	nv := len(s.Prob.Vars)
+	lo = make([]float64, nv)
+	up = make([]float64, nv)
+	s.effectiveBoundsInto(n, lo, up)
 	return lo, up
 }
 
-// activate prepares LP bounds, local cut rows and node data for n.
+// activate prepares LP bounds, local cut rows and node data for n. The
+// returned context points at solver-owned scratch reused across nodes.
 func (s *Solver) activate(n *Node) *Ctx {
-	s.localLo, s.localUp = s.effectiveBounds(n)
+	s.effectiveBoundsInto(n, s.localLo, s.localUp)
 	if s.Set.UseLP {
 		for j := range s.localLo {
 			s.lps.SetBound(j, s.localLo[j], s.localUp[j])
 		}
 		// Toggle local cuts by ancestry.
 		if len(s.cutOrigin) > 0 {
-			anc := make(map[int64]bool, n.Depth+1)
+			if s.ancScratch == nil {
+				s.ancScratch = make(map[int64]bool, n.Depth+1)
+			}
+			clear(s.ancScratch)
 			for cur := n; cur != nil; cur = cur.Parent {
-				anc[cur.ID] = true
+				s.ancScratch[cur.ID] = true
 			}
 			for k, origin := range s.cutOrigin {
-				s.lps.SetRowEnabled(s.baseRows+k, origin < 0 || anc[origin])
+				s.lps.SetRowEnabled(s.baseRows+k, origin < 0 || s.ancScratch[origin])
 			}
 		}
 	}
-	ctx := &Ctx{S: s, Node: n, rng: s.rng}
+	ctx := &s.nodeCtx
+	*ctx = Ctx{S: s, Node: n, rng: s.rng, children: s.nodeCtx.children[:0]}
 	if s.Plug.Def != nil {
-		decs := n.allDecisions()
-		if len(decs) > 0 {
-			ctx.Data = s.Plug.Def.CloneData(s.Prob.Data)
-			for _, d := range decs {
-				s.Plug.Def.ApplyDecision(ctx.Data, d)
-			}
-		} else {
-			ctx.Data = s.Plug.Def.CloneData(s.Prob.Data)
+		ctx.Data = s.Plug.Def.CloneData(s.Prob.Data)
+		s.decScratch = s.appendDecisions(s.decScratch[:0], n)
+		for _, d := range s.decScratch {
+			s.Plug.Def.ApplyDecision(ctx.Data, d)
 		}
 	} else {
 		ctx.Data = s.Prob.Data
@@ -394,22 +445,91 @@ func (s *Solver) activate(n *Node) *Ctx {
 	return ctx
 }
 
-// newChildNode allocates a child of parent.
+// appendDecisions appends the root-path branching decisions of n to buf.
+func (s *Solver) appendDecisions(buf []Decision, n *Node) []Decision {
+	s.pathScratch = n.pathInto(s.pathScratch)
+	for _, nd := range s.pathScratch {
+		buf = append(buf, nd.Decisions...)
+	}
+	return buf
+}
+
+// getNode returns a zeroed node from the pool, or a fresh one when the
+// pool is empty.
+func (s *Solver) getNode() *Node {
+	if k := len(s.freeNodes); k > 0 {
+		n := s.freeNodes[k-1]
+		s.freeNodes[k-1] = nil
+		s.freeNodes = s.freeNodes[:k-1]
+		return n
+	}
+	//lint:ignore hotalloc pool miss: grows the node pool once per open-node high-water mark
+	return &Node{}
+}
+
+// releaseNode returns n to the pool. External slices (plugin-owned
+// bound changes and decisions) are dropped, never reused.
+func (s *Solver) releaseNode(n *Node) {
+	n.ID = 0
+	n.Depth = 0
+	n.Bound = 0
+	n.Parent = nil
+	n.BoundChgs = nil
+	n.Decisions = nil
+	n.kids = 0
+	n.done = false
+	s.freeNodes = append(s.freeNodes, n)
+}
+
+// finishNode marks n fully explored (processed, pruned, or handed off)
+// and recycles every node on its root path whose subtree is complete.
+func (s *Solver) finishNode(n *Node) {
+	n.done = true
+	for cur := n; cur != nil && cur.done && cur.kids == 0; {
+		p := cur.Parent
+		s.releaseNode(cur)
+		cur = p
+		if p != nil {
+			p.kids--
+		}
+	}
+}
+
+// newChildNode builds a child of parent from a plugin Child, reusing a
+// pooled node.
 func (s *Solver) newChildNode(parent *Node, ch Child) *Node {
 	s.nextNodeID++
-	return &Node{
-		ID:        s.nextNodeID,
-		Depth:     parent.Depth + 1,
-		Bound:     parent.Bound,
-		Parent:    parent,
-		BoundChgs: ch.Bounds,
-		Decisions: ch.Decisions,
-	}
+	n := s.getNode()
+	n.ID = s.nextNodeID
+	n.Depth = parent.Depth + 1
+	n.Bound = parent.Bound
+	n.Parent = parent
+	n.BoundChgs = ch.Bounds
+	n.Decisions = ch.Decisions
+	parent.kids++
+	return n
+}
+
+// newChildBound is newChildNode for the builtin brancher's single
+// bound change, stored in the node's inline buffer: a steady-state
+// branch allocates nothing.
+func (s *Solver) newChildBound(parent *Node, bc BoundChg) *Node {
+	s.nextNodeID++
+	n := s.getNode()
+	n.ID = s.nextNodeID
+	n.Depth = parent.Depth + 1
+	n.Bound = parent.Bound
+	n.Parent = parent
+	n.ownChg[0] = bc
+	n.BoundChgs = n.ownChg[:1]
+	parent.kids++
+	return n
 }
 
 // Solve runs branch and bound from the root of the presolved problem.
 func (s *Solver) Solve() Status {
-	root := &Node{ID: 0, Bound: math.Inf(-1)}
+	root := s.getNode()
+	root.Bound = math.Inf(-1)
 	s.nextNodeID = 0
 	s.tree.push(root)
 	return s.loop()
@@ -418,7 +538,9 @@ func (s *Solver) Solve() Status {
 // SolveSubprob runs branch and bound on a received UG subproblem: its
 // bound changes and decisions seed the root node (the ParaSolver path).
 func (s *Solver) SolveSubprob(sub *Subprob) Status {
-	root := &Node{ID: 0, Bound: sub.Bound, Depth: sub.Depth}
+	root := s.getNode()
+	root.Bound = sub.Bound
+	root.Depth = sub.Depth
 	for _, bc := range sub.Bounds {
 		root.BoundChgs = append(root.BoundChgs, bc)
 	}
@@ -428,6 +550,9 @@ func (s *Solver) SolveSubprob(sub *Subprob) Status {
 	return s.loop()
 }
 
+// loop is the solve driver: pop, bound-check, process, repeat.
+//
+//ugo:hotpath driver
 func (s *Solver) loop() Status {
 	s.start = time.Now()
 	for {
@@ -456,15 +581,19 @@ func (s *Solver) loop() Status {
 			return StatusInfeasible
 		}
 		if n.Bound >= s.cutoffValue() {
+			s.finishNode(n)
 			continue
 		}
 		s.processNode(n)
+		s.finishNode(n)
 		s.curBound = Infinity
 	}
 }
 
 // processNode runs propagation, relaxation, enforcement, heuristics and
 // branching for one node.
+//
+//ugo:hotpath
 func (s *Solver) processNode(n *Node) {
 	isRoot := s.Stats.Nodes == 0
 	var rootStart time.Time
@@ -783,15 +912,15 @@ func (s *Solver) branchBuiltin(ctx *Ctx, n *Node, cand []float64) bool {
 	if bestJ >= 0 {
 		v := cand[bestJ]
 		floor := math.Floor(v)
-		down := Child{Bounds: []BoundChg{{Var: bestJ, Lo: s.localLo[bestJ], Up: floor}}}
-		up := Child{Bounds: []BoundChg{{Var: bestJ, Lo: floor + 1, Up: s.localUp[bestJ]}}}
+		down := BoundChg{Var: bestJ, Lo: s.localLo[bestJ], Up: floor}
+		up := BoundChg{Var: bestJ, Lo: floor + 1, Up: s.localUp[bestJ]}
 		// Push the more promising child last so DFS/plunge pops it first.
 		if v-floor > 0.5 {
-			s.tree.push(s.newChildNode(n, down))
-			s.tree.push(s.newChildNode(n, up))
+			s.tree.push(s.newChildBound(n, down))
+			s.tree.push(s.newChildBound(n, up))
 		} else {
-			s.tree.push(s.newChildNode(n, up))
-			s.tree.push(s.newChildNode(n, down))
+			s.tree.push(s.newChildBound(n, up))
+			s.tree.push(s.newChildBound(n, down))
 		}
 		s.recordPseudo(bestJ, v)
 		return true
@@ -811,8 +940,8 @@ func (s *Solver) branchBuiltin(ctx *Ctx, n *Node, cand []float64) bool {
 		return false
 	}
 	mid := math.Floor((s.localLo[widest] + s.localUp[widest]) / 2)
-	s.tree.push(s.newChildNode(n, Child{Bounds: []BoundChg{{Var: widest, Lo: s.localLo[widest], Up: mid}}}))
-	s.tree.push(s.newChildNode(n, Child{Bounds: []BoundChg{{Var: widest, Lo: mid + 1, Up: s.localUp[widest]}}}))
+	s.tree.push(s.newChildBound(n, BoundChg{Var: widest, Lo: s.localLo[widest], Up: mid}))
+	s.tree.push(s.newChildBound(n, BoundChg{Var: widest, Lo: mid + 1, Up: s.localUp[widest]}))
 	return true
 }
 

@@ -177,6 +177,8 @@ func (in *Instance) incidentArcs(v int) (inVars, outVars []int) {
 }
 
 // CloneData implements scip.ProblemDef.
+//
+//ugo:coldpath deep-copies the local graph once per transferred subproblem — copy-on-transfer is the ownership model
 func (d *Def) CloneData(data any) any {
 	switch v := data.(type) {
 	case *Instance:

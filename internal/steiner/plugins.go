@@ -63,6 +63,8 @@ func (*Conshdlr) Name() string { return "stp" }
 
 // Check implements scip.Conshdlr: the support of x must connect the root
 // to every (node-local) terminal.
+//
+//ugo:coldpath connectivity check runs once per candidate incumbent, not per node
 func (*Conshdlr) Check(ctx *scip.Ctx, x []float64) bool {
 	inst := ctx.Data.(*Instance)
 	reach := supportReach(inst, inst.SPG, x)
@@ -77,6 +79,8 @@ func (*Conshdlr) Check(ctx *scip.Ctx, x []float64) bool {
 // Enforce implements scip.Conshdlr: add a violated Steiner cut for an
 // unreached terminal. Cuts for original terminals are globally valid;
 // cuts for branching-added terminals are local to the subtree.
+//
+//ugo:coldpath cut synthesis walks the support graph once per enforcement round; its working sets are instance-sized and audited separately from the node loop
 func (*Conshdlr) Enforce(ctx *scip.Ctx, x []float64) scip.Result {
 	inst := ctx.Data.(*Instance)
 	local := inst.SPG
@@ -119,6 +123,8 @@ type Separator struct {
 func (*Separator) Name() string { return "stpcuts" }
 
 // Separate implements scip.Separator.
+//
+//ugo:coldpath min-cut separation is budget-capped by the solver and dominated by the max-flow solve, not by its allocations
 func (sep *Separator) Separate(ctx *scip.Ctx) scip.Result {
 	if ctx.LPSol == nil {
 		return scip.DidNotRun
@@ -235,6 +241,8 @@ type Propagator struct {
 func (*Propagator) Name() string { return "stpprop" }
 
 // Propagate implements scip.Propagator.
+//
+//ugo:coldpath reduction-based domain propagation clones the local graph by design; runs only until the per-node fixpoint
 func (p *Propagator) Propagate(ctx *scip.Ctx) scip.Result {
 	inst := ctx.Data.(*Instance)
 	local := inst.SPG
@@ -300,6 +308,8 @@ type Heuristic struct{}
 func (*Heuristic) Name() string { return "stpheur" }
 
 // Search implements scip.Heuristic.
+//
+//ugo:coldpath primal heuristic is frequency-gated by the solver; its shortest-path scratch is proportional to the instance, not the tree
 func (h *Heuristic) Search(ctx *scip.Ctx) scip.Result {
 	inst := ctx.Data.(*Instance)
 	local := inst.SPG
@@ -348,6 +358,8 @@ type Brancher struct{}
 func (*Brancher) Name() string { return "stpvertex" }
 
 // Branch implements scip.Brancher.
+//
+//ugo:coldpath runs once per branched node and must allocate the Child bound sets it hands to the tree
 func (b *Brancher) Branch(ctx *scip.Ctx) ([]scip.Child, scip.Result) {
 	if ctx.LPSol == nil {
 		return nil, scip.DidNotRun

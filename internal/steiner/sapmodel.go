@@ -135,6 +135,8 @@ type SAPConshdlr struct{}
 func (*SAPConshdlr) Name() string { return "sap" }
 
 // Check implements scip.Conshdlr.
+//
+//ugo:coldpath reachability check runs once per candidate incumbent, not per node
 func (*SAPConshdlr) Check(ctx *scip.Ctx, x []float64) bool {
 	inst := ctx.Data.(*SAPInstance)
 	reach := inst.sapReach(x)
@@ -149,6 +151,8 @@ func (*SAPConshdlr) Check(ctx *scip.Ctx, x []float64) bool {
 // Enforce implements scip.Conshdlr: add the cut of an unreached
 // terminal's component (all SAP cuts are globally valid — variants have
 // no branching-added terminals).
+//
+//ugo:coldpath cut synthesis walks the arc support once per enforcement round; working sets are instance-sized and audited separately
 func (*SAPConshdlr) Enforce(ctx *scip.Ctx, x []float64) scip.Result {
 	inst := ctx.Data.(*SAPInstance)
 	reach := inst.sapReach(x)
@@ -185,6 +189,8 @@ type SAPSeparator struct {
 func (*SAPSeparator) Name() string { return "sapcuts" }
 
 // Separate implements scip.Separator.
+//
+//ugo:coldpath fractional-support separation is budget-capped by the solver and dominated by the reachability sweep
 func (sep *SAPSeparator) Separate(ctx *scip.Ctx) scip.Result {
 	if ctx.LPSol == nil {
 		return scip.DidNotRun
@@ -245,6 +251,8 @@ type SAPHeuristic struct{}
 func (*SAPHeuristic) Name() string { return "sapheur" }
 
 // Search implements scip.Heuristic.
+//
+//ugo:coldpath primal heuristic is frequency-gated; its Dijkstra scratch scales with the instance, not the tree
 func (h *SAPHeuristic) Search(ctx *scip.Ctx) scip.Result {
 	inst := ctx.Data.(*SAPInstance)
 	s := inst.S

@@ -63,6 +63,8 @@ func (s *SPG) Root() int {
 }
 
 // Clone deep-copies the instance.
+//
+//ugo:coldpath deep copy runs once per transferred subproblem or propagation round, never per LP iteration
 func (s *SPG) Clone() *SPG {
 	return &SPG{
 		Name:     s.Name,

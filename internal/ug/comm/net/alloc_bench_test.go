@@ -15,7 +15,7 @@ import (
 func BenchmarkFrameRoundTrip(b *testing.B) {
 	payload := bytes.Repeat([]byte{0xAB}, 256)
 	m := comm.Message{From: 3, Tag: 7, Payload: payload}
-	var body []byte
+	var body, frame []byte
 	var wire bytes.Buffer
 	r := bufio.NewReader(&wire)
 	b.ReportAllocs()
@@ -27,7 +27,8 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		r.Reset(&wire)
-		ftype, got, err := readFrame(r)
+		ftype, got, nbuf, err := readFrameInto(r, frame)
+		frame = nbuf
 		if err != nil || ftype != frameData {
 			b.Fatalf("readFrame: type=%d err=%v", ftype, err)
 		}

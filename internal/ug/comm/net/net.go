@@ -466,6 +466,8 @@ func (c *NetComm) snapshotPeers() []*peer {
 // fault plan. When the queue is closed (graceful shutdown) it finishes
 // the drain, says goodbye, and exits; a write failure tears the peer
 // down.
+//
+//ugo:hotpath driver
 func (c *NetComm) sendLoop(p *peer) {
 	defer c.wg.Done()
 	var buf []byte
@@ -516,14 +518,18 @@ func (c *NetComm) sendLoop(p *peer) {
 
 // recvLoop reads frames from one peer into the local mailbox until the
 // connection fails (peer down) or a goodbye arrives (graceful).
+//
+//ugo:hotpath driver
 func (c *NetComm) recvLoop(p *peer) {
 	defer c.wg.Done()
+	var buf []byte // frame body buffer, reused across reads
 	for {
 		// Re-arm the read deadline each frame: the remote heartbeats
 		// every HeartbeatEvery, so a healthy link always beats this
 		// window and a dead one cannot park the loop forever.
 		_ = p.conn.SetReadDeadline(time.Now().Add(p.readWindow))
-		ftype, body, err := readFrame(p.br)
+		ftype, body, nbuf, err := readFrameInto(p.br, buf)
+		buf = nbuf
 		if err != nil {
 			c.peerGone(p, fmt.Errorf("netcomm: read from rank %d: %w", p.rank, err))
 			return
@@ -558,6 +564,8 @@ func (c *NetComm) recvLoop(p *peer) {
 
 // heartbeatLoop sends a heartbeat every HeartbeatEvery and declares the
 // peer dead after HeartbeatMiss silent intervals.
+//
+//ugo:hotpath driver
 func (c *NetComm) heartbeatLoop(p *peer) {
 	defer c.wg.Done()
 	ticker := time.NewTicker(c.opts.HeartbeatEvery)

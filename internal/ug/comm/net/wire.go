@@ -91,6 +91,7 @@ func DecodeMessage(body []byte) (comm.Message, int64, error) {
 		return comm.Message{}, 0, fmt.Errorf("netcomm: payload length %d != remaining %d", n, len(body)-17)
 	}
 	if n > 0 {
+		//lint:ignore hotalloc payload ownership transfers to the mailbox; the frame buffer is reused underneath it
 		m.Payload = append([]byte(nil), body[17:]...)
 	}
 	return m, clock, nil
@@ -173,19 +174,32 @@ func writeFrame(w io.Writer, ftype byte, body []byte) error {
 	return nil
 }
 
-// readFrame reads one frame from r, enforcing maxFrameBody.
-func readFrame(r *bufio.Reader) (ftype byte, body []byte, err error) {
+// readFrameInto reads one frame from r, enforcing maxFrameBody. The
+// body is read into buf (grown only when capacity is short) and
+// aliases the returned newBuf, which the caller passes back in on the
+// next call: the steady-state receive path then allocates nothing.
+func readFrameInto(r *bufio.Reader, buf []byte) (ftype byte, body, newBuf []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFrameBody {
-		return 0, nil, fmt.Errorf("netcomm: frame body %d bytes exceeds limit %d", n, maxFrameBody)
+		return 0, nil, buf, fmt.Errorf("netcomm: frame body %d bytes exceeds limit %d", n, maxFrameBody)
 	}
-	body = make([]byte, n)
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body = buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("netcomm: truncated frame body: %w", err)
+		return 0, nil, buf, fmt.Errorf("netcomm: truncated frame body: %w", err)
 	}
-	return hdr[4], body, nil
+	return hdr[4], body, buf, nil
+}
+
+// readFrame reads one frame from r into a fresh buffer — the one-shot
+// variant used during the rendezvous handshake.
+func readFrame(r *bufio.Reader) (ftype byte, body []byte, err error) {
+	ftype, body, _, err = readFrameInto(r, nil)
+	return ftype, body, err
 }

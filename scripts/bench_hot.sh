@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# bench_hot.sh — regenerate BENCH_hotpath.json, the hot-path allocation
+# ledger that pairs with the hotalloc analyzer (ugolint -hot).
+#
+# Runs the allocation benchmarks (internal/scip, internal/lp,
+# internal/ug/comm/net) twice — once in a detached git worktree at a
+# baseline ref (default HEAD~1, override with $1) and once in the
+# current tree — and writes the ns/op, B/op and allocs/op pairs side by
+# side. A benchmark missing at the baseline (or an unresolvable
+# baseline ref, e.g. a root commit) records "baseline": null.
+#
+#   scripts/bench_hot.sh            # compare working tree vs HEAD~1
+#   scripts/bench_hot.sh v1.2.0     # compare vs a tag
+#   BENCHTIME=5000x scripts/bench_hot.sh
+#
+# The committed BENCH_hotpath.json is the record of what the hotalloc
+# fixes bought; CI regenerates it as a build artifact. allocs/op is the
+# stable, machine-independent column — ns/op and B/op are informative
+# but load-dependent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_REF="${1:-HEAD~1}"
+BENCHTIME="${BENCHTIME:-2000x}"
+PKGS="./internal/scip ./internal/lp ./internal/ug/comm/net"
+BENCHES='^(BenchmarkProcessNode|BenchmarkSolveKnapsack|BenchmarkNodeHeap|BenchmarkLPResolve|BenchmarkFrameRoundTrip)$'
+OUT="BENCH_hotpath.json"
+
+# run_bench <dir> — emit "pkg name ns/op B/op allocs/op" per benchmark.
+run_bench() {
+    (cd "$1" && go test -run '^$' -bench "$BENCHES" -benchmem \
+        -benchtime "$BENCHTIME" $PKGS 2>/dev/null) |
+        awk '/^pkg:/ { pkg = $2 }
+             $1 ~ /^Benchmark/ && $NF == "allocs/op" {
+                 name = $1; sub(/-[0-9]+$/, "", name)
+                 print pkg, name, $3, $5, $7
+             }'
+}
+
+base_commit=""
+base_out=""
+if git rev-parse --quiet --verify "${BASE_REF}^{commit}" >/dev/null; then
+    base_commit=$(git rev-parse "${BASE_REF}^{commit}")
+    worktree=$(mktemp -d)
+    trap 'git worktree remove --force "$worktree" 2>/dev/null || true' EXIT
+    git worktree add --quiet --detach "$worktree" "$base_commit"
+    echo "== baseline: $BASE_REF ($base_commit)" >&2
+    base_out=$(run_bench "$worktree")
+else
+    echo "== baseline ref $BASE_REF not found; recording baseline: null" >&2
+fi
+
+echo "== current tree" >&2
+cur_out=$(run_bench .)
+if [ -z "$cur_out" ]; then
+    echo "bench_hot: no benchmark output from the current tree" >&2
+    exit 1
+fi
+
+awk -v baseref="$BASE_REF" -v basecommit="$base_commit" \
+    -v curcommit="$(git rev-parse HEAD)" '
+NR == FNR { if (NF == 5) base[$1 " " $2] = $3 " " $4 " " $5; next }
+NF == 5 { cur[++n] = $0 }
+END {
+    printf "{\n"
+    printf "  \"baseline_ref\": \"%s\",\n", baseref
+    printf "  \"baseline_commit\": \"%s\",\n", basecommit
+    printf "  \"commit\": \"%s\",\n", curcommit
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        split(cur[i], f, " ")
+        key = f[1] " " f[2]
+        printf "    {\"package\": \"%s\", \"name\": \"%s\",\n", f[1], f[2]
+        if (key in base) {
+            split(base[key], b, " ")
+            printf "     \"baseline\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", b[1], b[2], b[3]
+        } else {
+            printf "     \"baseline\": null,\n"
+        }
+        printf "     \"current\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}}%s\n", f[3], f[4], f[5], (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' <(printf '%s\n' "$base_out") <(printf '%s\n' "$cur_out") >"$OUT"
+
+echo "== wrote $OUT" >&2

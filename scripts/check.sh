@@ -7,7 +7,8 @@
 #   3. go build ./...    everything compiles
 #   4. ugolint ./...     the solver-aware analyzers (internal/analysis),
 #                        then the -json emitter over the same tree so
-#                        the machine-readable path cannot rot
+#                        the machine-readable path cannot rot, then the
+#                        -hot allocation gate over the //ugo:hotpath region
 #   5. go test -race     the concurrency-sensitive packages
 #   6. go test ./...     the full tier-1 suite (includes the ugolint
 #                        selfcheck via internal/analysis)
@@ -44,6 +45,12 @@ step "ugolint -json ./..."
 # showed any findings) so it fails loudly if findings exist or the
 # encoder breaks.
 go run ./cmd/ugolint -json ./... >/dev/null || fail=1
+
+step "ugolint -hot ./..."
+# The hot-path allocation gate: any unsanctioned allocation inside the
+# //ugo:hotpath region fails. The ranked table is noise when clean, so
+# capture it and replay only on failure.
+hotout=$(go run ./cmd/ugolint -hot ./...) || { echo "$hotout"; fail=1; }
 
 step "go test -race ./internal/ug/... ./internal/scip/..."
 go test -race ./internal/ug/... ./internal/scip/... || fail=1
