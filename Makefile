@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke
+.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke telemetry-smoke
 
 build:
 	go build ./...
@@ -65,8 +65,10 @@ net-smoke:
 	/tmp/ugtrace-net -merge -o /tmp/ug-net-smoke.merged /tmp/ug-net-smoke.trace /tmp/ug-net-smoke.trace.rank1 /tmp/ug-net-smoke.trace.rank2
 	/tmp/ugtrace-net -gantt -load -critpath -bounds /tmp/ug-net-smoke.merged
 
-# profile-smoke checks the live profiling side-channel: a solve run with
-# -pprof must answer /statusz and serve a 1-second CPU profile while the
-# solver is working (see scripts/profile_smoke.sh).
-profile-smoke:
+# telemetry-smoke checks the whole live telemetry plane on a real solve
+# run with -pprof and -watchdog: /statusz, a 1-second CPU profile,
+# grammar-valid Prometheus /metrics, and five schema-valid SSE frames
+# from /events, all scraped mid-solve (see scripts/profile_smoke.sh).
+# profile-smoke is the historical name for the same gate.
+telemetry-smoke profile-smoke:
 	./scripts/profile_smoke.sh

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/misdp"
@@ -43,7 +44,8 @@ func main() {
 		netConnect = flag.String("net-connect", "", "run as distributed worker: coordinator address to dial")
 		rank       = flag.Int("rank", 0, "this worker's rank (with -net-connect; 1-based)")
 		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof plus /statusz (live metrics) on this address during the solve")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, /statusz, Prometheus /metrics and the /events SSE stream on this address during the solve")
+		watchdog   = flag.Duration("watchdog", 0, "stall watchdog: after this long without progress events, emit watchdog.stall and write a goroutine dump (0 = off)")
 	)
 	flag.Parse()
 
@@ -60,14 +62,8 @@ func main() {
 			pf.Close()
 		}()
 	}
-	var tracer *obs.Tracer
-	if *tracePath != "" {
-		sink, err := obs.NewFileSink(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		tracer = obs.NewTracer(sink)
-	}
+	tele := newTelemetry(*tracePath, *pprofAddr, *watchdog, *stats)
+	tracer := tele.tracer
 
 	var inst *misdp.MISDP
 	switch *family {
@@ -108,12 +104,13 @@ func main() {
 	// A worker process generates the same instance from the same flags,
 	// presolves it locally, and serves subproblems until termination.
 	// With -trace it writes its own per-rank JSONL trace for
-	// `ugtrace -merge`; with -pprof it exposes its own debug server.
+	// `ugtrace -merge`; with -pprof it exposes its own debug server;
+	// with -watchdog it arms its own stall watchdog.
 	if *netConnect != "" {
-		wreg := startDebugServer(*pprofAddr, nil)
 		err := core.RunNetWorker(mkApp(), core.NetRun{
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
-			Trace: tracer, Metrics: wreg,
+			Trace: tracer, Metrics: tele.reg,
+			Bus: tele.bus, Watchdog: *watchdog, StallDumpPath: tele.dump,
 		})
 		if cerr := tracer.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -133,7 +130,11 @@ func main() {
 		}
 		set.TimeLimit = *timeLimit
 		app := misdp.NewApp(inst, 4)
+		wd := obs.StartWatchdog(obs.WatchdogConfig{
+			Bus: tele.bus, Tracer: tracer, Quiet: *watchdog, DumpPath: tele.dump,
+		})
 		solver, st, _ := core.SolveSequentialTraced(app, set, tracer)
+		wd.Stop()
 		if err := tracer.Close(); err != nil {
 			fatal(err)
 		}
@@ -166,17 +167,12 @@ func main() {
 	}
 
 	app := mkApp()
-	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer}
+	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer, Metrics: tele.reg}
 	if *racing || *mode == "hybrid" {
 		cfg.RampUp = ug.RampUpRacing
 		cfg.RacingTime = 0.3
 	}
-	var reg *obs.Registry
-	if *stats || *pprofAddr != "" {
-		reg = obs.NewRegistry()
-		cfg.Metrics = reg
-	}
-	startDebugServer(*pprofAddr, reg)
+	reg := tele.reg
 	var res *ug.Result
 	var err error
 	if *netListen != "" || *netProcs > 0 {
@@ -190,9 +186,16 @@ func main() {
 			WorkerArgs:      workerArgs,
 			Seed:            *seed,
 			WorkerTraceBase: *tracePath,
+			Bus:             tele.bus,
+			Watchdog:        *watchdog,
+			StallDumpPath:   tele.dump,
 		})
 	} else {
+		wd := obs.StartWatchdog(obs.WatchdogConfig{
+			Bus: tele.bus, Tracer: tracer, Quiet: *watchdog, DumpPath: tele.dump,
+		})
 		res, _, err = core.SolveParallel(app, cfg)
+		wd.Stop()
 	}
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -226,24 +229,56 @@ func main() {
 	}
 }
 
-// startDebugServer starts the -pprof debug endpoint when addr is
-// non-empty and returns the registry its /statusz page serves: reg when
-// one exists, otherwise a fresh registry — so a worker process (which
-// never prints -stats) still exposes live transport metrics. The server
-// lives until process exit.
-func startDebugServer(addr string, reg *obs.Registry) *obs.Registry {
-	if addr == "" {
-		return reg
+// telemetry bundles one process's observability plumbing: the tracer
+// (over the file sink, the live bus, or both), the bus live subscribers
+// attach to, the metrics registry, and the watchdog's dump path.
+type telemetry struct {
+	tracer *obs.Tracer
+	bus    *obs.Bus
+	reg    *obs.Registry
+	dump   string
+}
+
+// newTelemetry wires the telemetry plane from the CLI flags. The file
+// sink (when -trace is given) stays the authoritative trace: the bus
+// tees in front of it only when something live wants events (-pprof's
+// /events stream or the -watchdog), and the file bytes are identical
+// either way. With -pprof it also starts the debug server (which lives
+// until process exit) serving pprof, /statusz, /metrics and /events.
+func newTelemetry(tracePath, pprofAddr string, watchdog time.Duration, stats bool) telemetry {
+	var t telemetry
+	var sink obs.Sink
+	if tracePath != "" {
+		fs, err := obs.NewFileSink(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		sink = fs
 	}
-	if reg == nil {
-		reg = obs.NewRegistry()
+	if stats || pprofAddr != "" || watchdog > 0 {
+		t.reg = obs.NewRegistry()
 	}
-	ds, err := obs.StartDebugServer(addr, reg)
-	if err != nil {
-		fatal(err)
+	if pprofAddr != "" || watchdog > 0 {
+		t.bus = obs.NewBus(sink, t.reg)
+		sink = t.bus
 	}
-	fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz)\n", ds.Addr())
-	return reg
+	if sink != nil {
+		t.tracer = obs.NewTracer(sink)
+	}
+	if watchdog > 0 {
+		t.dump = "ug-stall-goroutines.txt"
+		if tracePath != "" {
+			t.dump = tracePath + ".stall-goroutines"
+		}
+	}
+	if pprofAddr != "" {
+		ds, err := obs.StartDebugServer(pprofAddr, t.reg, t.bus)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz, /metrics, /events)\n", ds.Addr())
+	}
+	return t
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -50,7 +51,8 @@ func main() {
 		rank       = flag.Int("rank", 0, "this worker's rank (with -net-connect; 1-based)")
 		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
 		seed       = flag.Int64("seed", 1, "seed for the transport's retry jitter")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof plus /statusz (live metrics) on this address during the solve")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, /statusz, Prometheus /metrics and the /events SSE stream on this address during the solve")
+		watchdog   = flag.Duration("watchdog", 0, "stall watchdog: after this long without progress events, emit watchdog.stall and write a goroutine dump (0 = off)")
 	)
 	flag.Parse()
 
@@ -90,26 +92,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	tele := newTelemetry(*tracePath, *pprofAddr, *watchdog, *stats)
+
 	// A worker process has no output of its own: it presolves its copy of
 	// the instance, serves subproblems, and exits with the coordinator.
 	// With -trace it writes its own per-rank JSONL trace (the self-spawn
 	// coordinator passes `-trace <base>.rank<N>` automatically) for
-	// `ugtrace -merge`; with -pprof it exposes its own debug server.
+	// `ugtrace -merge`; with -pprof it exposes its own debug server; with
+	// -watchdog it arms its own stall watchdog.
 	if *netConnect != "" {
-		var wtrace *obs.Tracer
-		if *tracePath != "" {
-			sink, err := obs.NewFileSink(*tracePath)
-			if err != nil {
-				fatal(err)
-			}
-			wtrace = obs.NewTracer(sink)
-		}
-		wreg := startDebugServer(*pprofAddr, nil)
 		err := core.RunNetWorker(steiner.NewApp(spg), core.NetRun{
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
-			Trace: wtrace, Metrics: wreg,
+			Trace: tele.tracer, Metrics: tele.reg,
+			Bus: tele.bus, Watchdog: *watchdog, StallDumpPath: tele.dump,
 		})
-		if cerr := wtrace.Close(); cerr != nil && err == nil {
+		if cerr := tele.tracer.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 		if err != nil {
@@ -123,6 +120,8 @@ func main() {
 		TimeLimit:      *timeLimit,
 		CheckpointPath: *checkpoint,
 		RestartFrom:    *restart,
+		Trace:          tele.tracer,
+		Metrics:        tele.reg,
 	}
 	if *racing {
 		cfg.RampUp = ug.RampUpRacing
@@ -131,19 +130,7 @@ func main() {
 	if *commKind == "gob" {
 		cfg.Comm = comm.NewGobComm(*workers + 1)
 	}
-	if *tracePath != "" {
-		sink, err := obs.NewFileSink(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Trace = obs.NewTracer(sink)
-	}
-	var reg *obs.Registry
-	if *stats || *pprofAddr != "" {
-		reg = obs.NewRegistry()
-		cfg.Metrics = reg
-	}
-	startDebugServer(*pprofAddr, reg)
+	reg := tele.reg
 
 	fmt.Printf("instance %s: %d vertices, %d edges, %d terminals\n",
 		spg.Name, spg.G.AliveVertices(), spg.G.AliveEdges(), spg.NumTerminals())
@@ -163,9 +150,16 @@ func main() {
 			WorkerArgs:      workerArgs,
 			Seed:            *seed,
 			WorkerTraceBase: *tracePath,
+			Bus:             tele.bus,
+			Watchdog:        *watchdog,
+			StallDumpPath:   tele.dump,
 		})
 	} else {
+		wd := obs.StartWatchdog(obs.WatchdogConfig{
+			Bus: tele.bus, Tracer: tele.tracer, Quiet: *watchdog, DumpPath: tele.dump,
+		})
 		res, factory, err = core.SolveParallel(steiner.NewApp(spg), cfg)
+		wd.Stop()
 	}
 	if cerr := cfg.Trace.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -214,24 +208,56 @@ func report(res *ug.Result, offset float64) {
 	}
 }
 
-// startDebugServer starts the -pprof debug endpoint when addr is
-// non-empty and returns the registry its /statusz page serves: reg when
-// one exists, otherwise a fresh registry — so a worker process (which
-// never prints -stats) still exposes live transport metrics. The server
-// lives until process exit.
-func startDebugServer(addr string, reg *obs.Registry) *obs.Registry {
-	if addr == "" {
-		return reg
+// telemetry bundles one process's observability plumbing: the tracer
+// (over the file sink, the live bus, or both), the bus live subscribers
+// attach to, the metrics registry, and the watchdog's dump path.
+type telemetry struct {
+	tracer *obs.Tracer
+	bus    *obs.Bus
+	reg    *obs.Registry
+	dump   string
+}
+
+// newTelemetry wires the telemetry plane from the CLI flags. The file
+// sink (when -trace is given) stays the authoritative trace: the bus
+// tees in front of it only when something live wants events (-pprof's
+// /events stream or the -watchdog), and the file bytes are identical
+// either way. With -pprof it also starts the debug server (which lives
+// until process exit) serving pprof, /statusz, /metrics and /events.
+func newTelemetry(tracePath, pprofAddr string, watchdog time.Duration, stats bool) telemetry {
+	var t telemetry
+	var sink obs.Sink
+	if tracePath != "" {
+		fs, err := obs.NewFileSink(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		sink = fs
 	}
-	if reg == nil {
-		reg = obs.NewRegistry()
+	if stats || pprofAddr != "" || watchdog > 0 {
+		t.reg = obs.NewRegistry()
 	}
-	ds, err := obs.StartDebugServer(addr, reg)
-	if err != nil {
-		fatal(err)
+	if pprofAddr != "" || watchdog > 0 {
+		t.bus = obs.NewBus(sink, t.reg)
+		sink = t.bus
 	}
-	fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz)\n", ds.Addr())
-	return reg
+	if sink != nil {
+		t.tracer = obs.NewTracer(sink)
+	}
+	if watchdog > 0 {
+		t.dump = "ug-stall-goroutines.txt"
+		if tracePath != "" {
+			t.dump = tracePath + ".stall-goroutines"
+		}
+	}
+	if pprofAddr != "" {
+		ds, err := obs.StartDebugServer(pprofAddr, t.reg, t.bus)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz, /metrics, /events)\n", ds.Addr())
+	}
+	return t
 }
 
 func fatal(err error) {

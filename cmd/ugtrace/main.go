@@ -37,6 +37,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -53,8 +54,13 @@ func main() {
 		critpath     = flag.Bool("critpath", false, "print the longest dispatch→outcome chain and per-rank idle attribution")
 		merge        = flag.Bool("merge", false, "merge multiple per-rank traces into one causal timeline (Lamport-clock order)")
 		output       = flag.String("o", "", "with -merge: write the merged JSONL trace to this file")
+		frames       = flag.Bool("frames", false, "validate a captured /events SSE frame log: each line (after any 'data: ' prefix) must parse as a schema-known event; stream invariants are not checked")
 	)
 	flag.Parse()
+	if *frames {
+		runFrames()
+		return
+	}
 	if *merge {
 		runMerge(*validateOnly, *output, *bounds, *timeline, *collect, *racing, *gantt, *loadCSV, *critpath)
 		return
@@ -171,6 +177,51 @@ func runMerge(validateOnly bool, output string, bounds, timeline, collect, racin
 	if critpath {
 		reportCritpath(w, merged)
 	}
+}
+
+// runFrames is the -frames mode: validate a log of frames captured from
+// the live /events SSE stream. Unlike a trace file, a captured window
+// starts at an arbitrary sequence number and may have holes (the bus
+// drops oldest on backpressure), so only per-event validity is checked:
+// each non-comment line must parse under the trace codec and carry a
+// schema-known kind. This is the check the telemetry smoke test applies
+// to frames scraped mid-solve.
+func runFrames() {
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ugtrace -frames frames.log")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	n, line := 0, 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		raw = strings.TrimPrefix(raw, "data: ")
+		if raw == "" || strings.HasPrefix(raw, ":") {
+			continue // SSE keepalive comment or frame separator
+		}
+		ev, err := obs.ParseLine([]byte(raw))
+		if err != nil {
+			fatal(fmt.Errorf("frame line %d: %w", line, err))
+		}
+		if !obs.KnownKind(ev.Kind) {
+			fatal(fmt.Errorf("frame line %d: unknown event kind %q", line, ev.Kind))
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("no event frames in %s", flag.Arg(0)))
+	}
+	fmt.Printf("ok: %d event frames\n", n)
 }
 
 // readTraceFile loads one JSONL trace, treating a read error — including
@@ -347,6 +398,12 @@ func reportTimeline(w io.Writer, events []obs.Event) {
 			fmt.Fprintf(w, "  busy %.1f%% of %d ticks", 100*float64(busy)/float64(end), end)
 		}
 		fmt.Fprintln(w)
+	}
+	for _, e := range events {
+		if e.Kind == obs.KindWatchdogStall {
+			fmt.Fprintf(w, "STALL at tick %d (wall %.1fs): %d rank(s) quiet, stalest rank %d — %s\n",
+				e.Tick, e.Wall, e.Open, e.Rank, e.Str)
+		}
 	}
 	fmt.Fprintln(w)
 }

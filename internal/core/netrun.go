@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/ug"
@@ -45,6 +46,19 @@ type NetRun struct {
 	// so a -net-procs run leaves one JSONL trace per process — the
 	// inputs `ugtrace -merge` joins into a global causal timeline.
 	WorkerTraceBase string
+	// Bus is this process's live telemetry bus (the tee sink its tracer
+	// writes through); the stall watchdog subscribes to it. May be nil,
+	// which disables the watchdog.
+	Bus *obs.Bus
+	// Watchdog, when > 0, arms a stall watchdog for the duration of the
+	// solve: a quiet window of this length with no progress events
+	// (dispatch/outcome/status/incumbent/…) emits a `watchdog.stall`
+	// trace event and writes a goroutine dump to StallDumpPath. Off by
+	// default so deterministic-replay runs are untouched.
+	Watchdog time.Duration
+	// StallDumpPath is where the watchdog writes its goroutine dump
+	// (conventionally `<trace>.stall-goroutines`).
+	StallDumpPath string
 }
 
 // Coordinator reports whether this process plays the coordinator role.
@@ -73,8 +87,29 @@ func RunNetWorker(app App, nr NetRun) error {
 	if err != nil {
 		return err
 	}
+	// The watchdog arms after the rendezvous: dial retries can legally
+	// take longer than the quiet window, and the trace opener invariant
+	// (comm.connect first) must hold.
+	wd := startWatchdog(nr, nr.Trace)
 	ug.RunWorker(nr.Rank, c, f, nr.Trace)
+	wd.Stop()
 	return c.Close()
+}
+
+// startWatchdog arms the stall watchdog described by nr (tr is the
+// process's tracer: nr.Trace on a worker, cfg.Trace on the
+// coordinator), returning nil — a safe no-op for Stop — when nr does
+// not request one.
+func startWatchdog(nr NetRun, tr *obs.Tracer) *obs.Watchdog {
+	if nr.Watchdog <= 0 {
+		return nil
+	}
+	return obs.StartWatchdog(obs.WatchdogConfig{
+		Bus:      nr.Bus,
+		Tracer:   tr,
+		Quiet:    nr.Watchdog,
+		DumpPath: nr.StallDumpPath,
+	})
 }
 
 // SolveNetParallel is SolveParallel's distributed-coordinator variant:
@@ -119,6 +154,12 @@ func SolveNetParallel(app App, cfg ug.Config, nr NetRun) (*ug.Result, *Factory, 
 			if nr.WorkerTraceBase != "" {
 				args = append(args, "-trace", fmt.Sprintf("%s.rank%d", nr.WorkerTraceBase, rank))
 			}
+			if nr.Watchdog > 0 {
+				// Each worker process arms its own watchdog over its own
+				// bus/trace, so a stall anywhere in the roster leaves a
+				// stall event and goroutine dump on that rank.
+				args = append(args, "-watchdog", nr.Watchdog.String())
+			}
 			args = append(args, "-net-connect", ln.Addr(), "-rank", strconv.Itoa(rank))
 			cmd := exec.Command(exe, args...)
 			// Workers write nothing in normal operation; route what they
@@ -148,7 +189,9 @@ func SolveNetParallel(app App, cfg ug.Config, nr NetRun) (*ug.Result, *Factory, 
 	cfg.RemoteWorkers = true
 
 	f := NewFactory(app)
+	wd := startWatchdog(nr, cfg.Trace)
 	res, err := ug.Run(f, cfg)
+	wd.Stop()
 	// Close drains the termination frames to the workers and says
 	// goodbye; the workers exit on their own after that.
 	_ = c.Close()

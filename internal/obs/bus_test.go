@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBusTeePreservesSinkStream pins the tee contract: with a bus in
+// front of a sink, the sink sees exactly the events it would without
+// the bus, in the same order, regardless of subscriber behavior.
+func TestBusTeePreservesSinkStream(t *testing.T) {
+	direct := &MemSink{}
+	dt := NewTracer(direct)
+	teed := &MemSink{}
+	bus := NewBus(teed, nil)
+	bt := NewTracer(bus)
+	// A subscriber that never reads must not perturb the sink stream.
+	_, cancel := bus.Subscribe()
+	defer cancel()
+
+	for i := 0; i < 100; i++ {
+		ev := Event{Kind: KindDispatch, Rank: 1 + i%3, Sub: int64(i)}
+		dt.Emit(ev)
+		bt.Emit(ev)
+	}
+	a, b := direct.Events(), teed.Events()
+	if len(a) != len(b) {
+		t.Fatalf("teed sink has %d events, direct %d", len(b), len(a))
+	}
+	for i := range a {
+		// Wall differs between the two tracers; everything else must not.
+		a[i].Wall, b[i].Wall = 0, 0
+		if a[i] != b[i] {
+			t.Fatalf("event %d: teed %+v != direct %+v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestBusSubscribeKindFilter(t *testing.T) {
+	bus := NewBus(nil, nil)
+	ch, cancel := bus.Subscribe(KindIncumbent)
+	defer cancel()
+	bus.Emit(Event{Kind: KindDispatch, Rank: 1})
+	bus.Emit(Event{Kind: KindIncumbent, Rank: 2, Primal: 7})
+	bus.Emit(Event{Kind: KindStatus, Rank: 1})
+	select {
+	case ev := <-ch:
+		if ev.Kind != KindIncumbent || ev.Primal != 7 {
+			t.Fatalf("got %+v, want the incumbent event", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("filtered event never delivered")
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected extra delivery: %+v", ev)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestBusEmitNeverBlocksAndDropsAccount is the backpressure contract,
+// run under -race in CI: a subscriber that stalls completely must not
+// slow Emit (beyond a bounded ring append), the oldest events must be
+// dropped first, and delivered + dropped must account for every matched
+// emission.
+func TestBusEmitNeverBlocksAndDropsAccount(t *testing.T) {
+	bus := NewBus(nil, NewRegistry())
+	ch, cancel := bus.Subscribe()
+	defer cancel()
+
+	const total = 10 * busRingCap
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			bus.Emit(Event{Kind: KindStatus, Sub: int64(i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Emit blocked on a stalled subscriber")
+	}
+
+	// All emits returned. The subscriber never read, so nearly everything
+	// beyond the ring (plus at most one event parked in the pump's send)
+	// must have been dropped — and now the backlog must drain completely.
+	var got []Event
+	deadline := time.After(10 * time.Second)
+	dropped := bus.Dropped()
+	want := int64(total) - dropped
+	for int64(len(got)) < want {
+		select {
+		case ev := <-ch:
+			got = append(got, ev)
+		case <-deadline:
+			t.Fatalf("backlog stalled: delivered %d, want %d (dropped %d)", len(got), want, dropped)
+		}
+	}
+	if d := bus.Dropped(); d != dropped {
+		t.Fatalf("drops changed after emission finished: %d -> %d", dropped, d)
+	}
+	if dropped == 0 {
+		t.Fatalf("no drops recorded for a stalled subscriber over %d events", total)
+	}
+	// Oldest-first drop order: apart from at most one early event the
+	// pump had already pulled and parked in its blocked send, the
+	// delivered window must be contiguous and end with the last emitted
+	// event.
+	gaps := 0
+	for i := 1; i < len(got); i++ {
+		if got[i].Sub != got[i-1].Sub+1 {
+			gaps++
+			if gaps > 1 || i != 1 {
+				t.Fatalf("delivery gap inside retained window: %d then %d", got[i-1].Sub, got[i].Sub)
+			}
+		}
+	}
+	if last := got[len(got)-1].Sub; last != total-1 {
+		t.Fatalf("last delivered event %d, want %d (newest must survive)", last, total-1)
+	}
+	select {
+	case ev, ok := <-ch:
+		if ok {
+			t.Fatalf("extra event beyond accounting: %+v", ev)
+		}
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestBusConcurrentEmitSubscribe hammers the bus from many emitters
+// while subscribers come and go; meaningful only under -race.
+func TestBusConcurrentEmitSubscribe(t *testing.T) {
+	bus := NewBus(&MemSink{}, NewRegistry())
+	var wg sync.WaitGroup
+	for e := 0; e < 4; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				bus.Emit(Event{Kind: KindStatus, Rank: e, Sub: int64(i)})
+			}
+		}(e)
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := bus.Subscribe(KindStatus)
+			for i := 0; i < 50; i++ {
+				select {
+				case <-ch:
+				case <-time.After(time.Millisecond):
+				}
+			}
+			cancel()
+			for range ch { // drain until close so cancel is exercised mid-flight
+			}
+		}()
+	}
+	wg.Wait()
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusCloseEndsSubscribersAndClosesSink(t *testing.T) {
+	sink := &MemSink{}
+	bus := NewBus(sink, nil)
+	ch, _ := bus.Subscribe()
+	bus.Emit(Event{Kind: KindRunStart})
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				goto closed
+			}
+		case <-deadline:
+			t.Fatal("subscriber channel not closed by Bus.Close")
+		}
+	}
+closed:
+	if _, cancel := bus.Subscribe(); cancel == nil {
+		t.Fatal("Subscribe after Close returned nil cancel")
+	} else {
+		cancel()
+	}
+	if n := len(sink.Events()); n != 1 {
+		t.Fatalf("sink saw %d events, want 1", n)
+	}
+}
+
+func TestBusUnsubscribeIdempotentAndUnblocks(t *testing.T) {
+	bus := NewBus(nil, nil)
+	ch, cancel := bus.Subscribe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		bus.Emit(Event{Kind: KindStatus, Sub: int64(i)})
+	}
+	cancel()
+	cancel() // idempotent
+	wg.Wait()
+	if bus.Subscribers() != 0 {
+		t.Fatalf("%d subscribers after cancel", bus.Subscribers())
+	}
+	bus.Emit(Event{Kind: KindStatus}) // must not panic or deliver
+}
+
+// TestBusPublishReachesSubscribersNotSink pins the watchdog's no-tracer
+// path: Publish fans out live but never writes to the trace sink.
+func TestBusPublishReachesSubscribersNotSink(t *testing.T) {
+	sink := &MemSink{}
+	bus := NewBus(sink, nil)
+	ch, cancel := bus.Subscribe(KindWatchdogStall)
+	defer cancel()
+	bus.Publish(Event{Kind: KindWatchdogStall, Str: "rank1@5"})
+	select {
+	case ev := <-ch:
+		if ev.Str != "rank1@5" {
+			t.Fatalf("got %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("published event never delivered")
+	}
+	if n := len(sink.Events()); n != 0 {
+		t.Fatalf("Publish leaked %d events into the sink", n)
+	}
+}
+
+// TestBusRegistryDropCounter checks the aggregate obs.bus.dropped
+// counter matches the bus's own accounting.
+func TestBusRegistryDropCounter(t *testing.T) {
+	reg := NewRegistry()
+	bus := NewBus(nil, reg)
+	_, cancel := bus.Subscribe()
+	defer cancel()
+	for i := 0; i < 3*busRingCap; i++ {
+		bus.Emit(Event{Kind: KindStatus, Sub: int64(i)})
+	}
+	if got, want := reg.Counter("obs.bus.dropped").Value(), bus.Dropped(); got != want || got == 0 {
+		t.Fatalf("registry counter %d, bus accounting %d (want equal and nonzero)", got, want)
+	}
+}
+
+// ExampleBus shows the subscriber API the SSE endpoint and the watchdog
+// are built on.
+func ExampleBus() {
+	bus := NewBus(nil, nil)
+	ch, cancel := bus.Subscribe(KindIncumbent)
+	bus.Emit(Event{Kind: KindIncumbent, Rank: 2, Primal: 41})
+	ev := <-ch
+	fmt.Printf("rank %d found %g\n", ev.Rank, ev.Primal)
+	cancel()
+	// Output: rank 2 found 41
+}

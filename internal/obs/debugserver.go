@@ -5,24 +5,45 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// DebugServer serves Go's net/http/pprof profiling endpoints plus a
-// /statusz page rendering the live metrics registry — the profiling
-// side-channel a long parallel solve exposes without touching the
-// deterministic solve path (everything here is read-only observation).
+// DebugServer serves Go's net/http/pprof profiling endpoints plus the
+// live telemetry surface — /statusz (human-readable metrics table),
+// /metrics (Prometheus text exposition) and /events (SSE event stream
+// off the bus) — the observation side-channel a long parallel solve
+// exposes without touching the deterministic solve path (everything
+// here is read-only observation).
 type DebugServer struct {
-	srv *http.Server
-	ln  net.Listener
+	srv      *http.Server
+	ln       net.Listener
+	stop     chan struct{} // closed by Close: terminates active SSE streams
+	stopOnce sync.Once
+
+	// sseHeartbeat is the idle-connection keepalive interval for /events
+	// (comment frames, so proxies don't reap quiet streams). Tests lower
+	// it; the ?heartbeat= query parameter can too.
+	sseHeartbeat time.Duration
+	sseActive    atomic.Int64
 }
 
+// maxSSESubscribers caps concurrent /events streams. Each stream owns a
+// bus ring plus a pump goroutine; past the cap the endpoint answers 503
+// rather than letting scrapers grow the process without bound.
+const maxSSESubscribers = 32
+
 // StartDebugServer listens on addr (e.g. "localhost:6060" or ":0") and
-// serves /debug/pprof/* and /statusz in a background goroutine until
-// Close. reg may be nil; /statusz then reports no metrics. A dedicated
-// mux is used rather than http.DefaultServeMux so importing this package
+// serves /debug/pprof/*, /statusz, /metrics and /events in a background
+// goroutine until Close. reg may be nil (/statusz and /metrics then
+// report only process-level series); bus may be nil (/events then
+// answers 503 — the process has no live event plane). A dedicated mux
+// is used rather than http.DefaultServeMux so importing this package
 // never mounts profiling handlers on servers the caller owns.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+func StartDebugServer(addr string, reg *Registry, bus *Bus) (*DebugServer, error) {
+	d := &DebugServer{stop: make(chan struct{}), sseHeartbeat: 15 * time.Second}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -37,11 +58,35 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 			return // client went away mid-write; nothing to do
 		}
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Process gauges first, then the solver registry; WriteProm
+		// sorts families within each call, and the two name spaces
+		// (go_* vs solver metrics) do not collide.
+		if err := WriteProm(w, ProcessMetrics()); err != nil {
+			return
+		}
+		if err := WriteProm(w, reg.Snapshot()); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		d.serveEvents(w, r, bus)
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
 	}
-	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	d.ln = ln
+	d.srv = &http.Server{
+		Handler: mux,
+		// A client that opens a connection and never finishes its request
+		// headers, or parks an idle keep-alive connection forever, must
+		// not pin server resources; SSE responses are exempt from these
+		// (they apply to reads and idle keep-alives, not active writes).
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		// Serve returns http.ErrServerClosed (or an accept error) once
 		// Close tears the listener down; either way the goroutine exits.
@@ -50,8 +95,86 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	return d, nil
 }
 
+// serveEvents streams live bus events as Server-Sent Events: one
+// `data: <event JSONL>` frame per event, `: keepalive` comments on idle,
+// until the client disconnects or the server closes. `?kind=a,b` (or
+// repeated kind parameters) filters to the named event kinds.
+func (d *DebugServer) serveEvents(w http.ResponseWriter, r *http.Request, bus *Bus) {
+	if bus == nil {
+		http.Error(w, "no event bus in this process (start the solve with -trace, -watchdog or -pprof)", http.StatusServiceUnavailable)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if n := d.sseActive.Add(1); n > maxSSESubscribers {
+		d.sseActive.Add(-1)
+		http.Error(w, fmt.Sprintf("too many event subscribers (cap %d)", maxSSESubscribers), http.StatusServiceUnavailable)
+		return
+	}
+	defer d.sseActive.Add(-1)
+
+	var kinds []string
+	for _, v := range r.URL.Query()["kind"] {
+		for _, k := range strings.Split(v, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	heartbeat := d.sseHeartbeat
+	if hb := r.URL.Query().Get("heartbeat"); hb != "" {
+		if dur, err := time.ParseDuration(hb); err == nil && dur >= 10*time.Millisecond {
+			heartbeat = dur
+		}
+	}
+
+	events, cancel := bus.Subscribe(kinds...)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	var buf []byte
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return // bus closed under us (solve ended)
+			}
+			buf = append(buf[:0], "data: "...)
+			buf = ev.AppendJSON(buf)
+			buf = append(buf, '\n', '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-d.stop:
+			return // server closing: end the stream promptly
+		}
+	}
+}
+
 // Addr returns the bound listen address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server and frees the listener.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close stops the server, terminates active SSE streams and frees the
+// listener.
+func (d *DebugServer) Close() error {
+	d.stopOnce.Do(func() { close(d.stop) })
+	return d.srv.Close()
+}

@@ -86,6 +86,12 @@ const (
 	// KindCommPeerDown is an ungraceful loss of a remote peer: Rank = lost
 	// rank, Str = cause.
 	KindCommPeerDown = "comm.peerdown"
+	// KindWatchdogStall is the stall watchdog firing after a quiet window
+	// with no progress events: Rank = the rank quiet longest, Open =
+	// number of ranks being tracked, Str = per-rank last-activity ticks
+	// ("rank1@42 rank2@37"). Emitted only when -watchdog is enabled, so
+	// deterministic-replay traces never contain it.
+	KindWatchdogStall = "watchdog.stall"
 )
 
 // knownKinds is the closed set cmd/ugtrace validates against.
@@ -101,6 +107,7 @@ var knownKinds = map[string]bool{
 	KindScipNode:    true,
 	KindCommConnect: true, KindCommRetry: true,
 	KindCommHeartbeat: true, KindCommPeerDown: true,
+	KindWatchdogStall: true,
 }
 
 // KnownKind reports whether kind is part of the trace schema.

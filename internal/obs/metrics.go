@@ -168,8 +168,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Metric is one snapshotted value for table rendering.
 type Metric struct {
 	Name  string
-	Kind  string // "counter", "gauge", "gauge.hw", "hist.count", "hist.mean", "hist.p50/p95/p99"
+	Kind  string // "counter", "gauge", "gauge.hw", "hist.count", "hist.sum", "hist.mean", "hist.p50/p95/p99"
 	Value float64
+}
+
+// integerKind reports whether a snapshot kind carries an integral value
+// (counters, gauges and observation counts) as opposed to the float
+// estimates derived from histogram contents.
+func integerKind(kind string) bool {
+	switch kind {
+	case "counter", "gauge", "gauge.hw", "hist.count":
+		return true
+	}
+	return false
 }
 
 // Registry names and owns metrics. The nil *Registry is the disabled
@@ -258,6 +269,7 @@ func (r *Registry) Snapshot() []Metric {
 	for name, h := range r.hists {
 		out = append(out, Metric{Name: name, Kind: "hist.count", Value: float64(h.Count())})
 		if n := h.Count(); n > 0 {
+			out = append(out, Metric{Name: name, Kind: "hist.sum", Value: h.Sum()})
 			out = append(out, Metric{Name: name, Kind: "hist.mean", Value: h.Sum() / float64(n)})
 			out = append(out, Metric{Name: name, Kind: "hist.p50", Value: h.Quantile(0.50)})
 			out = append(out, Metric{Name: name, Kind: "hist.p95", Value: h.Quantile(0.95)})
@@ -288,7 +300,16 @@ func WriteTable(w io.Writer, ms []Metric) error {
 		return err
 	}
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %g\n", nameW, m.Name, kindW, m.Kind, m.Value); err != nil {
+		// Counters, gauges and counts are integers; %g would flip large
+		// ones (e.g. transfer bytes past 1e7) into scientific notation on
+		// /statusz. Only histogram-derived estimates are true floats.
+		var err error
+		if integerKind(m.Kind) {
+			_, err = fmt.Fprintf(w, "%-*s  %-*s  %d\n", nameW, m.Name, kindW, m.Kind, int64(m.Value))
+		} else {
+			_, err = fmt.Fprintf(w, "%-*s  %-*s  %g\n", nameW, m.Name, kindW, m.Kind, m.Value)
+		}
+		if err != nil {
 			return err
 		}
 	}

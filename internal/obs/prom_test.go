@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{quantile="([0-9.]+)"\})? (-?[0-9].*|[+-]Inf|NaN)$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+)
+
+// checkPromGrammar validates a /metrics body line by line against the
+// text exposition format 0.0.4 subset we emit: every sample's metric
+// name is in the legal charset, every sample is preceded by a # TYPE
+// for its family, quantile labels within a summary are strictly
+// increasing, and each family appears exactly once.
+func checkPromGrammar(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{}    // family -> declared type
+	seenFamily := map[string]bool{} // family that already has samples
+	lastQuantile := map[string]float64{}
+	if body == "" {
+		t.Fatal("empty exposition body")
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		lineNo := i + 1
+		switch {
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			if !promHelpRe.MatchString(line) {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %s", lineNo, m[1])
+			}
+			if seenFamily[m[1]] {
+				t.Fatalf("line %d: TYPE for %s after its samples", lineNo, m[1])
+			}
+			typed[m[1]] = m[2]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment form: %q", lineNo, line)
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", lineNo, line)
+			}
+			name, quantile, value := m[1], m[3], m[4]
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: illegal metric name %q", lineNo, name)
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("line %d: unparseable sample value %q: %v", lineNo, value, err)
+			}
+			family := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+			if quantile != "" {
+				family = name
+			}
+			typ, ok := typed[family]
+			if !ok {
+				// _sum/_count trimming may not apply (plain gauge ending in
+				// _count is legal) — fall back to the exact name.
+				typ, ok = typed[name]
+				family = name
+			}
+			if !ok {
+				t.Fatalf("line %d: sample %s has no preceding TYPE", lineNo, name)
+			}
+			seenFamily[family] = true
+			if quantile != "" {
+				if typ != "summary" {
+					t.Fatalf("line %d: quantile label on %s family %s", lineNo, typ, family)
+				}
+				q, err := strconv.ParseFloat(quantile, 64)
+				if err != nil || q <= 0 || q >= 1 {
+					t.Fatalf("line %d: bad quantile %q", lineNo, quantile)
+				}
+				if prev, ok := lastQuantile[family]; ok && q <= prev {
+					t.Fatalf("line %d: quantiles not increasing for %s: %g after %g", lineNo, family, q, prev)
+				}
+				lastQuantile[family] = q
+			}
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"ug.comm.bytes", "ug_comm_bytes"},
+		{"already_legal:name", "already_legal:name"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"dash-and space", "dash_and_space"},
+		{"ünïcode", "__n__code"}, // each non-ASCII byte becomes '_'
+	} {
+		if got := sanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWritePromRendersRegistryKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ug.dispatch.total").Add(12345678901) // > 1e7: must not go scientific
+	reg.Gauge("ug.active.solvers").Set(7)
+	h := reg.Histogram("ug.node.ms", []float64{1, 10, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 40))
+	}
+	var sb strings.Builder
+	if err := WriteProm(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	checkPromGrammar(t, out)
+
+	for _, want := range []string{
+		"# TYPE ug_dispatch_total counter\n",
+		"ug_dispatch_total 12345678901\n",
+		"# TYPE ug_active_solvers gauge\n",
+		"ug_active_solvers 7\n",
+		"# TYPE ug_active_solvers_highwater gauge\n",
+		"# TYPE ug_node_ms summary\n",
+		`ug_node_ms{quantile="0.5"}`,
+		`ug_node_ms{quantile="0.95"}`,
+		`ug_node_ms{quantile="0.99"}`,
+		"ug_node_ms_sum ",
+		"ug_node_ms_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Summary layout: quantiles ascending, then _sum, then _count.
+	idx := func(s string) int { return strings.Index(out, s) }
+	if !(idx(`ug_node_ms{quantile="0.5"}`) < idx(`ug_node_ms{quantile="0.95"}`) &&
+		idx(`ug_node_ms{quantile="0.95"}`) < idx(`ug_node_ms{quantile="0.99"}`) &&
+		idx(`ug_node_ms{quantile="0.99"}`) < idx("ug_node_ms_sum ") &&
+		idx("ug_node_ms_sum ") < idx("ug_node_ms_count ")) {
+		t.Fatalf("summary samples out of order:\n%s", out)
+	}
+}
+
+func TestWritePromEmptyHistogramOmitsQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("ug.empty.ms", []float64{1, 10})
+	var sb strings.Builder
+	if err := WriteProm(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	checkPromGrammar(t, out)
+	if !strings.Contains(out, "ug_empty_ms_count 0\n") {
+		t.Fatalf("empty histogram should still expose _count 0:\n%s", out)
+	}
+	if strings.Contains(out, "quantile") {
+		t.Fatalf("empty histogram must not expose quantiles:\n%s", out)
+	}
+}
+
+// TestDebugServerMetricsScrape scrapes /metrics from a live debug server
+// and validates every line of the response against the text-format
+// grammar — the end-to-end check the issue asks for.
+func TestDebugServerMetricsScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("net.tx.frames").Add(42)
+	reg.Counter("net.tx.bytes").Add(98765432109)
+	reg.Gauge("ug.active").Set(3)
+	reg.Histogram("comm.rtt.ms", []float64{0.5, 1, 5, 50}).Observe(2.25)
+	ds, err := StartDebugServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	resp, err := http.Get("http://" + ds.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("wrong content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	checkPromGrammar(t, out)
+
+	// Process-level series and the solver registry must both be present.
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge\n",
+		"# TYPE go_heap_alloc_bytes gauge\n",
+		"# TYPE go_gc_cycles_total counter\n",
+		"# TYPE go_gc_pause_seconds_total counter\n",
+		"net_tx_frames 42\n",
+		"net_tx_bytes 98765432109\n",
+		"# TYPE comm_rtt_ms summary\n",
+		"comm_rtt_ms_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestDebugServerMetricsNilRegistry: a process with no registry still
+// serves valid process-level metrics.
+func TestDebugServerMetricsNilRegistry(t *testing.T) {
+	ds, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPromGrammar(t, string(body))
+	if !strings.Contains(string(body), "go_goroutines ") {
+		t.Fatalf("missing process gauges:\n%s", body)
+	}
+}
+
+// TestStatuszIntegerFormatting pins the WriteTable satellite fix: large
+// counters must render as integers, not %g scientific notation.
+func TestStatuszIntegerFormatting(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("net.tx.bytes").Add(123456789012)
+	reg.Histogram("rtt", []float64{1, 2}).Observe(1.5)
+	var sb strings.Builder
+	if err := WriteTable(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "123456789012") {
+		t.Fatalf("counter lost integer rendering:\n%s", out)
+	}
+	if strings.Contains(out, "e+") {
+		t.Fatalf("scientific notation leaked into the table:\n%s", out)
+	}
+	// Histogram-derived floats keep %g.
+	if !strings.Contains(out, "hist.mean") {
+		t.Fatalf("missing hist.mean row:\n%s", out)
+	}
+}
+
+// readSSEFrames reads SSE data frames from a stream, skipping comments,
+// until n frames or EOF.
+func readSSEFrames(r io.Reader, n int) ([]string, error) {
+	var frames []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			frames = append(frames, strings.TrimPrefix(line, "data: "))
+			if len(frames) == n {
+				return frames, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return frames, err
+	}
+	return frames, fmt.Errorf("stream ended after %d frames (want %d)", len(frames), n)
+}

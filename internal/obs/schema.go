@@ -41,6 +41,7 @@ var kindFields = map[string][]string{
 	KindCommRetry:     {"Rank", "Open", "Str"},
 	KindCommHeartbeat: {"Rank"},
 	KindCommPeerDown:  {"Rank", "Str"},
+	KindWatchdogStall: {"Rank", "Open", "Str"},
 }
 
 // KnownKinds returns the closed set of event kinds, sorted. The slice is

@@ -1,6 +1,8 @@
 package ug
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -190,6 +192,97 @@ func TestDistributedMergedTraceCausallyConsistent(t *testing.T) {
 		if byOrigin[origin] == 0 {
 			t.Fatalf("no events from origin %d in merged trace (have %v)", origin, byOrigin)
 		}
+	}
+}
+
+// TestDistributedWatchdogFiresOnDelayedPeer is the acceptance check for
+// the stall watchdog on a live distributed solve: the single worker's
+// transport delays its 2nd status frame by 900ms, which (the outgoing
+// data loop being serialized) stalls every data frame behind it while
+// heartbeats keep the link alive — a straggler, not a death. The
+// watchdog must fire during the quiet window, land a schema-valid
+// watchdog.stall event in the coordinator trace, and write the
+// goroutine dump; the run must still finish optimal, and the trace must
+// still pass the structural validator with stall events interleaved.
+func TestDistributedWatchdogFiresOnDelayedPeer(t *testing.T) {
+	const lo, hi, chunk = 0, 300000, 300
+	sink := &obs.MemSink{}
+	bus := obs.NewBus(sink, obs.NewRegistry())
+	tracer := obs.NewTracer(bus)
+	dump := filepath.Join(t.TempDir(), "net.jsonl.stall-goroutines")
+
+	// Arm the watchdog the way SolveNetParallel does — after rendezvous
+	// has opened the trace with comm.connect — so the opener invariant
+	// holds even if the watchdog fires before any solve progress.
+	connected, cancelConn := bus.Subscribe(obs.KindCommConnect)
+	stalls := make(chan obs.Event, 4)
+	var wd *obs.Watchdog
+	armed := make(chan struct{})
+	go func() {
+		defer close(armed)
+		if _, ok := <-connected; !ok {
+			return
+		}
+		cancelConn()
+		wd = obs.StartWatchdog(obs.WatchdogConfig{
+			Bus: bus, Tracer: tracer, Quiet: 200 * time.Millisecond, DumpPath: dump,
+			OnStall: func(ev obs.Event) {
+				select {
+				case stalls <- ev:
+				default:
+				}
+			},
+		})
+	}()
+
+	wOpts := map[int]netcomm.Options{
+		1: {Fault: netcomm.NewFaultPlan(netcomm.FaultRule{
+			Tag: comm.TagStatus, Nth: 2, Action: netcomm.FaultDelay, Delay: 900 * time.Millisecond})},
+	}
+	res, err := runDistributed(t, &fakeFactory{lo: lo, hi: hi, chunk: chunk}, 1,
+		Config{StatusInterval: 1e-4, ShipInterval: 1e-4, Trace: tracer}, wOpts)
+	<-armed
+	wd.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("run with a delayed peer not optimal: %+v", res)
+	}
+	if want := trueMin(lo, hi); res.Obj != want {
+		t.Fatalf("obj %v, true min %v", res.Obj, want)
+	}
+
+	select {
+	case ev := <-stalls:
+		if ev.Kind != obs.KindWatchdogStall {
+			t.Fatalf("stall callback got kind %q", ev.Kind)
+		}
+	default:
+		t.Fatal("watchdog never fired during a 900ms data stall with a 200ms quiet window")
+	}
+	stallEvs := sink.Filter(obs.KindWatchdogStall)
+	if len(stallEvs) == 0 {
+		t.Fatal("watchdog.stall missing from the coordinator trace")
+	}
+	for _, ev := range stallEvs {
+		if !strings.Contains(ev.Str, "@") {
+			t.Fatalf("stall payload missing per-rank last-activity ticks: %+v", ev)
+		}
+	}
+	// Stall events interleave with coordination events; the trace must
+	// still satisfy every structural invariant.
+	if err := obs.ValidateTrace(sink.Events()); err != nil {
+		t.Fatalf("trace with stall events fails validation: %v", err)
+	}
+	// The goroutine dump landed next to the (would-be) trace file and
+	// holds real stacks.
+	data, rerr := os.ReadFile(dump)
+	if rerr != nil {
+		t.Fatalf("goroutine dump not written: %v", rerr)
+	}
+	if !strings.Contains(string(data), "goroutine") {
+		t.Fatalf("dump does not look like a goroutine profile (%d bytes)", len(data))
 	}
 }
 

@@ -1,25 +1,37 @@
 #!/usr/bin/env bash
-# profile_smoke.sh — smoke test for the -pprof debug endpoint.
+# profile_smoke.sh — smoke test for the live telemetry side-channel.
 #
 # Starts a deliberately slow solve with the debug server on a fixed
-# loopback port, then (while the solver is working) fetches /statusz and
-# a 1-second CPU profile from /debug/pprof/. Both must answer with
-# non-empty bodies. The solve is bounded by -time so the background
-# process always exits on its own; we also kill it on every exit path.
+# loopback port, then (while the solver is working) checks every surface
+# the -pprof flag exposes:
+#
+#   /statusz             human-readable metrics table
+#   /debug/pprof/profile 1-second CPU profile
+#   /metrics             Prometheus text exposition (grammar-checked)
+#   /events              SSE stream (5 live frames, schema-validated
+#                        with `ugtrace -frames`)
+#
+# The solve also runs with -watchdog armed, so the flag plumbing is
+# exercised on a real run (a healthy solve must NOT fire it). The solve
+# is bounded by -time so the background process always exits on its own;
+# we also kill it on every exit path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:6872
 STATUSZ=/tmp/ug-profile-smoke.statusz
 PROFILE=/tmp/ug-profile-smoke.pprof
+METRICS=/tmp/ug-profile-smoke.metrics
+FRAMES=/tmp/ug-profile-smoke.frames
 
 go build -o /tmp/ugsteiner-prof ./cmd/ugsteiner
+go build -o /tmp/ugtrace-prof ./cmd/ugtrace
 
 # hc7u runs for >10s even under the time limit, so the process is
 # reliably still alive while the 1-second CPU profile is captured; the
 # trap kills it as soon as the checks pass.
 /tmp/ugsteiner-prof -instance hc7u -workers 2 -time 10 -pprof "$ADDR" \
-    >/tmp/ug-profile-smoke.out 2>&1 &
+    -watchdog 30s >/tmp/ug-profile-smoke.out 2>&1 &
 SOLVE_PID=$!
 trap 'kill "$SOLVE_PID" 2>/dev/null; wait "$SOLVE_PID" 2>/dev/null || true' EXIT
 
@@ -49,10 +61,47 @@ grep -q metric "$STATUSZ" || {
     exit 1
 }
 
+# /metrics must serve Prometheus text exposition: TYPE comments for the
+# process gauges, and no line that is neither a comment nor a sample in
+# the legal  name{labels} value  shape (the same grammar the unit tests
+# check line by line — this is the cheap end-to-end version).
+curl -sf "http://$ADDR/metrics" -o "$METRICS"
+grep -q '^# TYPE go_goroutines gauge$' "$METRICS" || {
+    echo "profile-smoke: /metrics missing the go_goroutines TYPE line:" >&2
+    cat "$METRICS" >&2
+    exit 1
+}
+grep -q '^# TYPE ' "$METRICS" || {
+    echo "profile-smoke: /metrics has no TYPE comments" >&2
+    exit 1
+}
+if BAD=$(grep -Ev '^#|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eEInfNa]+$' "$METRICS"); then
+    echo "profile-smoke: malformed /metrics line(s):" >&2
+    echo "$BAD" >&2
+    exit 1
+fi
+
+# /events must stream well-formed SSE frames mid-solve: capture 5 data
+# frames and validate each payload against the trace schema. grep -m5
+# closes the pipe once it has its frames, which curl reports as a write
+# error — that is the expected way to end the stream.
+(curl -sN --max-time 15 "http://$ADDR/events?heartbeat=250ms" || true) \
+    | grep -m5 '^data: ' >"$FRAMES" || true
+if [ "$(wc -l <"$FRAMES")" -lt 5 ]; then
+    echo "profile-smoke: fewer than 5 SSE frames from /events:" >&2
+    cat "$FRAMES" >&2
+    exit 1
+fi
+/tmp/ugtrace-prof -frames "$FRAMES" || {
+    echo "profile-smoke: /events frames failed schema validation" >&2
+    cat "$FRAMES" >&2
+    exit 1
+}
+
 curl -sf "http://$ADDR/debug/pprof/profile?seconds=1" -o "$PROFILE"
 if [ ! -s "$PROFILE" ]; then
     echo "profile-smoke: empty CPU profile" >&2
     exit 1
 fi
 
-echo "profile-smoke: ok (statusz $(wc -c <"$STATUSZ") bytes, profile $(wc -c <"$PROFILE") bytes)"
+echo "profile-smoke: ok (statusz $(wc -c <"$STATUSZ") bytes, metrics $(wc -c <"$METRICS") bytes, $(wc -l <"$FRAMES") SSE frames, profile $(wc -c <"$PROFILE") bytes)"
