@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke telemetry-smoke
+.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke telemetry-smoke serve-smoke
 
 build:
 	go build ./...
@@ -32,7 +32,7 @@ lint-fix-list:
 	-go run ./cmd/ugolint -q -group ./...
 
 race:
-	go test -race ./internal/ug/... ./internal/scip/...
+	go test -race ./internal/ug/... ./internal/scip/... ./internal/serve/...
 
 fmt:
 	gofmt -w .
@@ -72,3 +72,12 @@ net-smoke:
 # profile-smoke is the historical name for the same gate.
 telemetry-smoke profile-smoke:
 	./scripts/profile_smoke.sh
+
+# serve-smoke drives the ugserve daemon end to end over its HTTP API:
+# STP + MISDP jobs solved to optimality, a duplicate submission hitting
+# the presolve cache (cache=hit, presolve_seconds=0, serve_cache_hit
+# incremented), five schema-valid SSE frames from a running job's
+# /events stream, grammar-valid Prometheus /metrics, and a graceful
+# SIGTERM drain during an active solve (see scripts/serve_smoke.sh).
+serve-smoke:
+	./scripts/serve_smoke.sh

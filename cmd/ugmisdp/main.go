@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -64,6 +66,12 @@ func main() {
 	}
 	tele := newTelemetry(*tracePath, *pprofAddr, *watchdog, *stats)
 	tracer := tele.tracer
+	// The sequential solver has no cooperative stop channel; leaving the
+	// default signal disposition there keeps ^C an immediate exit.
+	var cancel <-chan struct{}
+	if !*seq {
+		cancel = cancelOnSignal("ugmisdp")
+	}
 
 	var inst *misdp.MISDP
 	switch *family {
@@ -109,7 +117,7 @@ func main() {
 	if *netConnect != "" {
 		err := core.RunNetWorker(mkApp(), core.NetRun{
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
-			Trace: tracer, Metrics: tele.reg,
+			Trace: tracer, Metrics: tele.reg, Cancel: cancel,
 			Bus: tele.bus, Watchdog: *watchdog, StallDumpPath: tele.dump,
 		})
 		if cerr := tracer.Close(); cerr != nil && err == nil {
@@ -167,7 +175,7 @@ func main() {
 	}
 
 	app := mkApp()
-	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer, Metrics: tele.reg}
+	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer, Metrics: tele.reg, Cancel: cancel}
 	if *racing || *mode == "hybrid" {
 		cfg.RampUp = ug.RampUpRacing
 		cfg.RacingTime = 0.3
@@ -279,6 +287,25 @@ func newTelemetry(tracePath, pprofAddr string, watchdog time.Duration, stats boo
 		fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz, /metrics, /events)\n", ds.Addr())
 	}
 	return t
+}
+
+// cancelOnSignal returns a channel closed on the first SIGINT/SIGTERM.
+// The solve stops cooperatively — the coordinator runs its ordinary stop
+// protocol, a net worker closes its comm after a short grace — so the
+// trace file is complete (run.start … run.end) and validates instead of
+// being truncated mid-write. A second signal force-exits.
+func cancelOnSignal(name string) <-chan struct{} {
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		got := <-sig
+		fmt.Fprintf(os.Stderr, "%s: %v — stopping cooperatively (signal again to force quit)\n", name, got)
+		close(cancel)
+		<-sig
+		os.Exit(1)
+	}()
+	return cancel
 }
 
 func fatal(err error) {

@@ -22,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -93,6 +95,7 @@ func main() {
 	}
 
 	tele := newTelemetry(*tracePath, *pprofAddr, *watchdog, *stats)
+	cancel := cancelOnSignal("ugsteiner")
 
 	// A worker process has no output of its own: it presolves its copy of
 	// the instance, serves subproblems, and exits with the coordinator.
@@ -103,7 +106,7 @@ func main() {
 	if *netConnect != "" {
 		err := core.RunNetWorker(steiner.NewApp(spg), core.NetRun{
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
-			Trace: tele.tracer, Metrics: tele.reg,
+			Trace: tele.tracer, Metrics: tele.reg, Cancel: cancel,
 			Bus: tele.bus, Watchdog: *watchdog, StallDumpPath: tele.dump,
 		})
 		if cerr := tele.tracer.Close(); cerr != nil && err == nil {
@@ -122,6 +125,7 @@ func main() {
 		RestartFrom:    *restart,
 		Trace:          tele.tracer,
 		Metrics:        tele.reg,
+		Cancel:         cancel,
 	}
 	if *racing {
 		cfg.RampUp = ug.RampUpRacing
@@ -258,6 +262,25 @@ func newTelemetry(tracePath, pprofAddr string, watchdog time.Duration, stats boo
 		fmt.Fprintf(os.Stderr, "debug server on http://%s (/debug/pprof/, /statusz, /metrics, /events)\n", ds.Addr())
 	}
 	return t
+}
+
+// cancelOnSignal returns a channel closed on the first SIGINT/SIGTERM.
+// The solve stops cooperatively — the coordinator runs its ordinary stop
+// protocol, a net worker closes its comm after a short grace — so the
+// trace file is complete (run.start … run.end) and validates instead of
+// being truncated mid-write. A second signal force-exits.
+func cancelOnSignal(name string) <-chan struct{} {
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		got := <-sig
+		fmt.Fprintf(os.Stderr, "%s: %v — stopping cooperatively (signal again to force quit)\n", name, got)
+		close(cancel)
+		<-sig
+		os.Exit(1)
+	}()
+	return cancel
 }
 
 func fatal(err error) {

@@ -36,6 +36,10 @@ type Factory struct {
 	app       App
 	presolved *scip.Prob
 	objOffset float64
+	// external marks presolved/objOffset as supplied by the caller
+	// (NewPresolvedFactory): GlobalPresolve then skips the reduction
+	// phase entirely — the serving layer's presolve cache rides on this.
+	external bool
 }
 
 // NewFactory wraps an App for ug.Run.
@@ -49,11 +53,49 @@ func NewFactory(app App) *Factory {
 	return &Factory{app: app}
 }
 
+// NewPresolvedFactory wraps an App whose global presolve already
+// happened elsewhere: prob is the presolved shared model and offset the
+// objective offset the reductions accumulated. GlobalPresolve then only
+// encodes the root subproblem — it never re-runs ProblemDef.Presolve —
+// so a presolve cache can amortize the reduction phase across repeated
+// submissions of the same instance. The model is shared read-only by
+// every ParaSolver, exactly as NewFactory shares its own presolve
+// result.
+func NewPresolvedFactory(app App, prob *scip.Prob, offset float64) *Factory {
+	f := NewFactory(app)
+	f.presolved = prob
+	f.objOffset = offset
+	f.external = true
+	return f
+}
+
+// Presolve runs the App's global presolve standalone (the same
+// reduction GlobalPresolve performs inside ug.Run) and returns the
+// presolved model plus the objective offset. The App's Data is cloned
+// first, so the caller's instance stays untouched — the pair can be
+// cached and handed to NewPresolvedFactory any number of times.
+func Presolve(app App) (*scip.Prob, float64, error) {
+	f := NewFactory(app)
+	if _, _, err := f.GlobalPresolve(); err != nil {
+		return nil, 0, err
+	}
+	return f.presolved, f.objOffset, nil
+}
+
 // GlobalPresolve implements ug.SolverFactory: it presolves the instance
 // once in the LoadCoordinator and builds the shared model all ParaSolvers
 // solve (the outer layer of the paper's layered presolving; the inner
 // layer happens when each ParaSolver re-reduces received subproblems).
+// On a NewPresolvedFactory the reduction phase is skipped: the supplied
+// model is used as-is and only the root payload is built.
 func (f *Factory) GlobalPresolve() ([]byte, *ug.Solution, error) {
+	if f.external {
+		root, err := scip.EncodeSubprob(&scip.Subprob{Bound: negInf})
+		if err != nil {
+			return nil, nil, err
+		}
+		return root, nil, nil
+	}
 	data := f.app.Data
 	if f.app.Def != nil {
 		data = f.app.Def.CloneData(data)
@@ -192,6 +234,17 @@ func (w *worker) Solve(sub *ug.Subproblem, sess *ug.Session) ug.Outcome {
 // SolveParallel is the one-call entry point: build the factory, run UG.
 func SolveParallel(app App, cfg ug.Config) (*ug.Result, *Factory, error) {
 	f := NewFactory(app)
+	res, err := ug.Run(f, cfg)
+	return res, f, err
+}
+
+// SolveWithPresolved is SolveParallel over an already-presolved model
+// (see Presolve/NewPresolvedFactory): ug.Run starts from prob and
+// offset directly, bypassing GlobalPresolve's reduction phase. This is
+// the serving layer's cache-hit path; the CLI paths keep using
+// SolveParallel and are byte-identical in traces.
+func SolveWithPresolved(app App, prob *scip.Prob, offset float64, cfg ug.Config) (*ug.Result, *Factory, error) {
+	f := NewPresolvedFactory(app, prob, offset)
 	res, err := ug.Run(f, cfg)
 	return res, f, err
 }

@@ -59,7 +59,21 @@ type NetRun struct {
 	// StallDumpPath is where the watchdog writes its goroutine dump
 	// (conventionally `<trace>.stall-goroutines`).
 	StallDumpPath string
+	// Cancel, when non-nil, requests a graceful wind-down once closed
+	// (the CLIs close it on SIGINT/SIGTERM). On a worker the comm is
+	// closed after a short grace window — the window lets a coordinator
+	// that received the same signal drive the ordinary stop protocol
+	// first, so outcomes are reported instead of appearing as peer loss.
+	// On the coordinator side pass the same channel via ug.Config.Cancel.
+	Cancel <-chan struct{}
 }
+
+// workerCancelGrace is how long an interrupted worker waits for the
+// coordinator-driven stop (the coordinator usually received the same
+// signal and interrupts every solver cleanly) before unilaterally
+// closing its comm. Either way the worker exits gracefully with a
+// flushed trace.
+const workerCancelGrace = 2 * time.Second
 
 // Coordinator reports whether this process plays the coordinator role.
 func (nr NetRun) Coordinator() bool { return nr.Listen != "" || nr.Procs > 0 }
@@ -91,6 +105,28 @@ func RunNetWorker(app App, nr NetRun) error {
 	// take longer than the quiet window, and the trace opener invariant
 	// (comm.connect first) must hold.
 	wd := startWatchdog(nr, nr.Trace)
+	if nr.Cancel != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-nr.Cancel:
+			case <-done:
+				return
+			}
+			t := time.NewTimer(workerCancelGrace)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				// The coordinator did not stop us within the grace window;
+				// close the comm ourselves. Recv unblocks with a synthesized
+				// termination and the worker unwinds as if the coordinator
+				// were gone.
+				_ = c.Close()
+			case <-done:
+			}
+		}()
+	}
 	ug.RunWorker(nr.Rank, c, f, nr.Trace)
 	wd.Stop()
 	return c.Close()

@@ -5,7 +5,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,18 +94,11 @@ func StartDebugServer(addr string, reg *Registry, bus *Bus) (*DebugServer, error
 	return d, nil
 }
 
-// serveEvents streams live bus events as Server-Sent Events: one
-// `data: <event JSONL>` frame per event, `: keepalive` comments on idle,
-// until the client disconnects or the server closes. `?kind=a,b` (or
-// repeated kind parameters) filters to the named event kinds.
+// serveEvents answers the /events endpoint: admission control (no bus →
+// 503, subscriber cap → 503), then the shared ServeSSE streaming loop.
 func (d *DebugServer) serveEvents(w http.ResponseWriter, r *http.Request, bus *Bus) {
 	if bus == nil {
 		http.Error(w, "no event bus in this process (start the solve with -trace, -watchdog or -pprof)", http.StatusServiceUnavailable)
-		return
-	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
 	if n := d.sseActive.Add(1); n > maxSSESubscribers {
@@ -115,58 +107,7 @@ func (d *DebugServer) serveEvents(w http.ResponseWriter, r *http.Request, bus *B
 		return
 	}
 	defer d.sseActive.Add(-1)
-
-	var kinds []string
-	for _, v := range r.URL.Query()["kind"] {
-		for _, k := range strings.Split(v, ",") {
-			if k = strings.TrimSpace(k); k != "" {
-				kinds = append(kinds, k)
-			}
-		}
-	}
-	heartbeat := d.sseHeartbeat
-	if hb := r.URL.Query().Get("heartbeat"); hb != "" {
-		if dur, err := time.ParseDuration(hb); err == nil && dur >= 10*time.Millisecond {
-			heartbeat = dur
-		}
-	}
-
-	events, cancel := bus.Subscribe(kinds...)
-	defer cancel()
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
-
-	ticker := time.NewTicker(heartbeat)
-	defer ticker.Stop()
-	var buf []byte
-	for {
-		select {
-		case ev, ok := <-events:
-			if !ok {
-				return // bus closed under us (solve ended)
-			}
-			buf = append(buf[:0], "data: "...)
-			buf = ev.AppendJSON(buf)
-			buf = append(buf, '\n', '\n')
-			if _, err := w.Write(buf); err != nil {
-				return
-			}
-			flusher.Flush()
-		case <-ticker.C:
-			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
-				return
-			}
-			flusher.Flush()
-		case <-r.Context().Done():
-			return
-		case <-d.stop:
-			return // server closing: end the stream promptly
-		}
-	}
+	ServeSSE(w, r, bus, SSEOptions{Heartbeat: d.sseHeartbeat, Stop: d.stop})
 }
 
 // Addr returns the bound listen address (useful with ":0").

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SSEOptions tunes one ServeSSE stream.
+type SSEOptions struct {
+	// Heartbeat is the idle keepalive interval (`: keepalive` comment
+	// frames, so proxies don't reap quiet streams). Zero means 15s. The
+	// client may override it with a `?heartbeat=` query parameter
+	// (minimum 10ms).
+	Heartbeat time.Duration
+	// Stop, when non-nil, terminates the stream promptly when closed —
+	// the owning server closes it on shutdown so drains don't wait on
+	// parked clients.
+	Stop <-chan struct{}
+}
+
+// ServeSSE streams live bus events to one HTTP client as Server-Sent
+// Events: one `data: <event JSONL>` frame per event until the client
+// disconnects, the bus closes (its run ended), or opts.Stop fires.
+// `?kind=a,b` (or repeated kind parameters) filters to the named event
+// kinds. This is the streaming core shared by the debug server's
+// /events endpoint and ugserve's per-job event streams — the latter
+// passes a bus scoped to a single job, so the handler is "the /events
+// handler scoped to one job" by construction.
+func ServeSSE(w http.ResponseWriter, r *http.Request, bus *Bus, opts SSEOptions) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+
+	var kinds []string
+	for _, v := range r.URL.Query()["kind"] {
+		for _, k := range strings.Split(v, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	heartbeat := opts.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+	if hb := r.URL.Query().Get("heartbeat"); hb != "" {
+		if dur, err := time.ParseDuration(hb); err == nil && dur >= 10*time.Millisecond {
+			heartbeat = dur
+		}
+	}
+
+	events, cancel := bus.Subscribe(kinds...)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	var buf []byte
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return // bus closed under us (run/job ended)
+			}
+			buf = append(buf[:0], "data: "...)
+			buf = ev.AppendJSON(buf)
+			buf = append(buf, '\n', '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-opts.Stop:
+			return // server closing: end the stream promptly
+		}
+	}
+}

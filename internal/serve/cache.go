@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/scip"
+)
+
+// errStopped reports that the caller's stop channel fired while waiting
+// for a presolve in flight; the presolve itself keeps running and still
+// populates the cache for later submissions.
+var errStopped = errors.New("serve: stopped while waiting for presolve")
+
+// PresolveCache amortizes the global reduction phase across
+// submissions: instance content hash → presolved *scip.Prob + objective
+// offset. Entries are shared read-only (exactly how core.Factory shares
+// its presolve result across in-process ParaSolvers), evicted LRU under
+// a byte budget, and presolved at most once per key no matter how many
+// submissions race on it (singleflight): the first caller runs the
+// presolve in its own goroutine, everyone else waits on the same entry,
+// and a waiter whose deadline fires abandons the wait without killing
+// the presolve.
+type PresolveCache struct {
+	mu      sync.Mutex
+	budget  int64 // byte budget; <=0 means unbounded
+	cur     int64 // bytes held by ready entries
+	entries map[string]*cacheEntry
+
+	// LRU over ready entries: head is most recent, tail evicts first.
+	head, tail *cacheEntry
+
+	hits    *obs.Counter // serve.cache.hit
+	misses  *obs.Counter // serve.cache.miss
+	evicts  *obs.Counter // serve.cache.evict
+	bytes   *obs.Gauge   // serve.cache.bytes
+	nGauge  *obs.Gauge   // serve.cache.entries
+	sizeOf  func(*scip.Prob) int64
+	started int64 // presolves actually run (test introspection)
+}
+
+// cacheEntry is one key's slot: in flight until ready is closed, then
+// either a ready model (err nil, linked into the LRU) or a failure.
+type cacheEntry struct {
+	key    string
+	prob   *scip.Prob
+	offset float64
+	size   int64
+	err    error
+	ready  chan struct{}
+
+	prev, next *cacheEntry // LRU links, ready entries only
+}
+
+// NewPresolveCache builds a cache with the given byte budget (<=0 means
+// unbounded) counting into reg (nil-safe).
+func NewPresolveCache(budget int64, reg *obs.Registry) *PresolveCache {
+	return &PresolveCache{
+		budget:  budget,
+		entries: map[string]*cacheEntry{},
+		hits:    reg.Counter("serve.cache.hit"),
+		misses:  reg.Counter("serve.cache.miss"),
+		evicts:  reg.Counter("serve.cache.evict"),
+		bytes:   reg.Gauge("serve.cache.bytes"),
+		nGauge:  reg.Gauge("serve.cache.entries"),
+		sizeOf:  probBytes,
+	}
+}
+
+// Get returns the presolved model for key, running presolve at most
+// once per key across concurrent callers. hit reports whether this
+// caller skipped the reduction phase (the entry was ready or already in
+// flight). stop aborts the wait (not the presolve); Get then returns
+// errStopped.
+func (c *PresolveCache) Get(stop <-chan struct{}, key string, presolve func() (*scip.Prob, float64, error)) (prob *scip.Prob, offset float64, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits.Inc()
+		if e.err == nil && e.size > 0 {
+			c.touch(e)
+		}
+	} else {
+		c.misses.Inc()
+		c.started++
+		e = &cacheEntry{key: key, ready: make(chan struct{})}
+		c.entries[key] = e
+		c.nGauge.Set(int64(len(c.entries)))
+	}
+	c.mu.Unlock()
+	if !ok {
+		// The presolve runs in its own goroutine so a deadline firing on
+		// the initiating job abandons the wait while the work completes
+		// and still lands in the cache.
+		go c.fill(e, presolve)
+	}
+	select {
+	case <-e.ready:
+	case <-stop:
+		return nil, 0, ok, errStopped
+	}
+	if e.err != nil {
+		return nil, 0, ok, e.err
+	}
+	return e.prob, e.offset, ok, nil
+}
+
+// fill runs the presolve and publishes the entry (or removes it on
+// failure, so the next submission retries).
+func (c *PresolveCache) fill(e *cacheEntry, presolve func() (*scip.Prob, float64, error)) {
+	prob, offset, err := presolve()
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		delete(c.entries, e.key)
+	} else {
+		e.prob, e.offset = prob, offset
+		e.size = c.sizeOf(prob)
+		c.cur += e.size
+		c.pushFront(e)
+		c.evictOver(e)
+	}
+	c.nGauge.Set(int64(len(c.entries)))
+	c.bytes.Set(c.cur)
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// evictOver drops least-recently-used ready entries until the budget
+// holds, never evicting keep (the entry just inserted stays cached even
+// if it alone exceeds the budget — a cache of one beats a cache of
+// none). Caller holds mu.
+func (c *PresolveCache) evictOver(keep *cacheEntry) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.cur > c.budget && c.tail != nil && c.tail != keep {
+		ev := c.tail
+		c.unlink(ev)
+		c.cur -= ev.size
+		delete(c.entries, ev.key)
+		c.evicts.Inc()
+	}
+}
+
+// Len returns the number of cached (ready or in-flight) entries.
+func (c *PresolveCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the bytes held by ready entries.
+func (c *PresolveCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// touch moves a ready entry to the LRU front. Caller holds mu.
+func (c *PresolveCache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// pushFront links e as the most recently used entry. Caller holds mu.
+func (c *PresolveCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (c *PresolveCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// probBytes estimates the resident size of a presolved model: variable
+// and row headers plus nonzeros. It is an estimate (strings and the
+// problem-specific Data payload are approximated by the per-var/per-row
+// overheads), used only to hold the LRU byte budget, never for
+// correctness.
+func probBytes(p *scip.Prob) int64 {
+	const base = 1024
+	b := int64(base)
+	b += int64(len(p.Vars)) * 64
+	for i := range p.Rows {
+		b += 64 + int64(len(p.Rows[i].Coefs))*16
+	}
+	return b
+}

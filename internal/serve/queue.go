@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrQueueFull is returned by push when the queue is at capacity — the
+// admission-control backpressure signal (HTTP 429 at the API edge).
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining is returned by push once the queue stopped admitting
+// (graceful shutdown began).
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// queue is the bounded priority job queue: higher Spec.Priority pops
+// first, FIFO (admission seq) within a priority. pop blocks; remove
+// supports cancel-while-queued. All methods are safe for concurrent
+// use.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   []*Job
+	cap    int
+	closed bool
+	depth  *obs.Gauge // serve.queue.depth (nil-safe)
+}
+
+func newQueue(capacity int, depth *obs.Gauge) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &queue{cap: capacity, depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// less orders the heap: higher priority first, then admission order.
+func jobLess(a, b *Job) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+// push admits a job, or reports ErrQueueFull / ErrDraining.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.heap) >= q.cap {
+		return ErrQueueFull
+	}
+	q.heap = append(q.heap, j)
+	q.up(len(q.heap) - 1)
+	q.depth.Set(int64(len(q.heap)))
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and
+// drained; ok=false signals the latter.
+func (q *queue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	j := q.popLocked()
+	q.depth.Set(int64(len(q.heap)))
+	return j, true
+}
+
+// remove takes a specific job out of the queue (cancel-while-queued),
+// reporting whether it was still queued.
+func (q *queue) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, h := range q.heap {
+		if h == j {
+			last := len(q.heap) - 1
+			q.heap[i] = q.heap[last]
+			q.heap[last] = nil
+			q.heap = q.heap[:last]
+			if i < last {
+				if !q.down(i) {
+					q.up(i)
+				}
+			}
+			q.depth.Set(int64(len(q.heap)))
+			return true
+		}
+	}
+	return false
+}
+
+// drain closes the queue for new pushes and removes every queued job,
+// returning them (the server cancels them as "drained"). Blocked pop
+// calls return ok=false.
+func (q *queue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	out := q.heap
+	q.heap = nil
+	q.depth.Set(0)
+	q.cond.Broadcast()
+	return out
+}
+
+// len returns the queued-job count.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// popLocked removes and returns the best job. Caller holds mu.
+func (q *queue) popLocked() *Job {
+	j := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return j
+}
+
+// up restores the heap property from index i toward the root.
+func (q *queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !jobLess(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// down restores the heap property from index i toward the leaves,
+// reporting whether anything moved.
+func (q *queue) down(i int) bool {
+	moved := false
+	n := len(q.heap)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && jobLess(q.heap[l], q.heap[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && jobLess(q.heap[r], q.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return moved
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		i = best
+		moved = true
+	}
+}

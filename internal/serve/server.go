@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Addr is the listen address ("host:port", ":0" for any port).
+	Addr string
+	// MaxConcurrent is the number of solves running at once (the worker
+	// pool size). Default 2.
+	MaxConcurrent int
+	// QueueCap bounds the number of queued (not yet running) jobs;
+	// submissions past it are answered 429. Default 64.
+	QueueCap int
+	// CacheBytes is the presolve cache's LRU byte budget (<=0 means
+	// unbounded).
+	CacheBytes int64
+	// DefaultWorkers is the per-job ParaSolver count when a submission
+	// does not choose one. Default 2.
+	DefaultWorkers int
+	// SSEHeartbeat overrides the idle keepalive interval on event
+	// streams (tests lower it). Zero keeps the 15s default.
+	SSEHeartbeat time.Duration
+}
+
+// maxJobSSEStreams caps concurrent per-job event streams across the
+// server, mirroring the debug server's cap: past it /events answers 503
+// instead of letting clients grow the process without bound.
+const maxJobSSEStreams = 64
+
+// Server is the ugserve daemon: job queue + scheduler + presolve cache
+// behind one HTTP mux that also carries the debug-server surface
+// (/metrics, /statusz, /debug/pprof/) — the PR 5 debug server grown
+// into the service plane.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *PresolveCache
+	q     *queue
+	sched *scheduler
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job // admission order, for stable list views
+	nextID int64
+
+	draining  atomic.Bool
+	stop      chan struct{} // closed on Close/drain end: terminates SSE streams
+	stopOnce  sync.Once
+	sseActive atomic.Int64
+
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+
+	submitted *obs.Counter // serve.jobs.submitted
+	rejected  *obs.Counter // serve.jobs.rejected
+}
+
+// New builds a Server (not yet listening; call Start).
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 64
+	}
+	if cfg.DefaultWorkers < 1 {
+		cfg.DefaultWorkers = 2
+	}
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		cache:     NewPresolveCache(cfg.CacheBytes, reg),
+		jobs:      map[string]*Job{},
+		stop:      make(chan struct{}),
+		start:     time.Now(),
+		submitted: reg.Counter("serve.jobs.submitted"),
+		rejected:  reg.Counter("serve.jobs.rejected"),
+	}
+	s.q = newQueue(cfg.QueueCap, reg.Gauge("serve.queue.depth"))
+	s.sched = newScheduler(s.q, s.cache, reg, cfg.MaxConcurrent, cfg.DefaultWorkers)
+	return s
+}
+
+// Registry exposes the server's metrics registry (tests and embedders).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start binds the listen address and serves the API in a background
+// goroutine until Drain or Close.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		// Serve returns http.ErrServerClosed (or an accept error) once
+		// the listener goes away; either way the goroutine exits.
+		_ = s.srv.Serve(s.ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// mux assembles the one service mux: job API, metrics, statusz, pprof.
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Submit admits a job programmatically (the HTTP POST path calls this
+// too). It validates the spec, assigns an ID, and enqueues.
+func (s *Server) Submit(sp Spec) (*Job, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	seq := s.nextID
+	j := newJob(id, seq, sp, obs.NewBus(nil, s.reg), time.Now())
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	if err := s.q.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, err
+	}
+	s.submitted.Inc()
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// CancelJob cancels a job by ID: removed outright while queued, stopped
+// cooperatively while running. It returns the job's state after the
+// request (terminal states are left as they were).
+func (s *Server) CancelJob(id string) (State, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return "", false
+	}
+	s.cancelJob(j)
+	return j.State(), true
+}
+
+// cancelJob performs the two-sided cancel: queue removal wins for
+// queued jobs, the cancel channel covers running ones. The scheduler's
+// own pre-run check closes the race where a job is popped between the
+// remove attempt and the channel close.
+func (s *Server) cancelJob(j *Job) {
+	j.Cancel()
+	if s.q.remove(j) {
+		if j.transition(StateCancelled) {
+			s.sched.countTerminal(StateCancelled)
+		}
+	}
+}
+
+// Drain performs graceful shutdown: stop admitting, cancel everything
+// still queued, let running solves finish within grace (then stop them
+// cooperatively), and shut the HTTP server down. It returns the number
+// of jobs that were still running when the drain began (the "drained"
+// jobs the caller reports).
+func (s *Server) Drain(grace time.Duration) int {
+	s.draining.Store(true)
+	// Closing the queue unblocks idle workers; queued jobs are cancelled
+	// (a drain finishes running work, it does not start new work).
+	for _, j := range s.q.drain() {
+		j.Cancel()
+		if j.transition(StateCancelled) {
+			s.sched.countTerminal(StateCancelled)
+		}
+	}
+	active := make([]*Job, 0)
+	s.mu.Lock()
+	for _, j := range s.order {
+		if j.State() == StateRunning {
+			active = append(active, j)
+		}
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.sched.wait()
+		close(finished)
+	}()
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		select {
+		case <-finished:
+			t.Stop()
+		case <-t.C:
+			// Grace expired: stop every straggler cooperatively — all
+			// non-terminal jobs, not just the ones seen running when the
+			// drain began (a job popped right at drain time may only now
+			// be entering running) — and wait for them to unwind (a
+			// cancelled solve interrupts at the next coordinator tick,
+			// so this is prompt).
+			s.mu.Lock()
+			stragglers := append([]*Job(nil), s.order...)
+			s.mu.Unlock()
+			for _, j := range stragglers {
+				if !j.State().Terminal() {
+					j.Cancel()
+				}
+			}
+			<-finished
+		}
+	} else {
+		<-finished
+	}
+	s.shutdownHTTP()
+	return len(active)
+}
+
+// Close hard-stops the server: cancel everything, drain with no grace.
+func (s *Server) Close() {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j)
+	}
+	s.Drain(0)
+}
+
+// shutdownHTTP ends SSE streams and closes the listener.
+func (s *Server) shutdownHTTP() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.srv != nil {
+		_ = s.srv.Close()
+	}
+}
+
+// handleJobs is POST /v1/jobs (submit) and GET /v1/jobs (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var sp Spec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+			return
+		}
+		j, err := s.Submit(sp)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, j.StatusView())
+		case err == ErrQueueFull:
+			s.rejected.Inc()
+			writeErr(w, http.StatusTooManyRequests, err.Error())
+		case err == ErrDraining:
+			s.rejected.Inc()
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeErr(w, http.StatusBadRequest, err.Error())
+		}
+	case http.MethodGet:
+		s.mu.Lock()
+		views := make([]Status, 0, len(s.order))
+		for _, j := range s.order {
+			views = append(views, j.StatusView())
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "draining": s.draining.Load()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list")
+	}
+}
+
+// handleJob is GET/DELETE /v1/jobs/{id} and GET /v1/jobs/{id}/events.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id))
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.StatusView())
+	case sub == "" && r.Method == http.MethodDelete:
+		s.cancelJob(j)
+		writeJSON(w, http.StatusOK, j.StatusView())
+	case sub == "events" && r.Method == http.MethodGet:
+		s.serveJobEvents(w, r, j)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET, DELETE, or GET …/events")
+	}
+}
+
+// serveJobEvents streams one job's live events: the shared SSE handler
+// over the job's own bus, so the stream carries exactly this job's
+// incumbent/bound/status traffic. A stream for a finished job returns
+// immediately (its bus is closed); clients see a clean end of stream.
+func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	if n := s.sseActive.Add(1); n > maxJobSSEStreams {
+		s.sseActive.Add(-1)
+		writeErr(w, http.StatusServiceUnavailable, fmt.Sprintf("too many event subscribers (cap %d)", maxJobSSEStreams))
+		return
+	}
+	defer s.sseActive.Add(-1)
+	obs.ServeSSE(w, r, j.bus, obs.SSEOptions{Heartbeat: s.cfg.SSEHeartbeat, Stop: s.stop})
+}
+
+// handleMetrics serves Prometheus text exposition of the process gauges
+// plus the service registry (queue depth, cache hit/miss, job states,
+// plus everything the in-process solves record).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WriteProm(w, obs.ProcessMetrics()); err != nil {
+		return
+	}
+	if err := obs.WriteProm(w, s.reg.Snapshot()); err != nil {
+		return
+	}
+}
+
+// handleStatusz serves the human-readable service summary: uptime, job
+// state counts, queue/cache occupancy, and the metrics table.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "uptime_seconds %.1f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "draining %v\n", s.draining.Load())
+	s.mu.Lock()
+	counts := map[State]int{}
+	for _, j := range s.order {
+		counts[j.State()]++
+	}
+	s.mu.Unlock()
+	states := make([]string, 0, len(counts))
+	for st := range counts {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "jobs_%s %d\n", st, counts[State(st)])
+	}
+	fmt.Fprintf(w, "queue_depth %d\ncache_entries %d\ncache_bytes %d\n\n",
+		s.q.len(), s.cache.Len(), s.cache.Bytes())
+	if err := obs.WriteTable(w, s.reg.Snapshot()); err != nil {
+		return // client went away mid-write; nothing to do
+	}
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr writes a JSON error envelope.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// finiteOr0 clamps non-finite objective/bound values for JSON transport
+// (encoding/json rejects ±Inf and NaN).
+func finiteOr0(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scip"
+	"repro/internal/ug"
+)
+
+// startServer boots a full server on a loopback port.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postJob(t *testing.T, s *Server, body string) Status {
+	t.Helper()
+	resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("bad submit response %q: %v", raw, err)
+	}
+	return st
+}
+
+func getJob(t *testing.T, s *Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode job %s: %v", id, err)
+	}
+	return st
+}
+
+func awaitTerminal(t *testing.T, s *Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getJob(t, s, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Status{}
+}
+
+// snapshotValue reads one metric from the server registry.
+func snapshotValue(s *Server, name string) (float64, bool) {
+	for _, m := range s.Registry().Snapshot() {
+		if m.Name == name && (m.Kind == "counter" || m.Kind == "gauge") {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+func TestHTTPSubmitSolveFetch(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 2})
+	body := fmt.Sprintf(`{"kind":"stp","stp":%q,"workers":1}`, tinySTP)
+	st := postJob(t, s, body)
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+	final := awaitTerminal(t, s, st.ID)
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("final = %+v, want done with result", final)
+	}
+	if final.Result.Status != "optimal" || final.Result.Objective != 3 {
+		t.Fatalf("result = %+v, want optimal objective 3", final.Result)
+	}
+	if final.Result.Cache != "miss" {
+		t.Fatalf("first solve cache = %q, want miss", final.Result.Cache)
+	}
+
+	// List view carries the job too.
+	resp, err := http.Get("http://" + s.Addr() + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs     []Status `json:"jobs"`
+		Draining bool     `json:"draining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID || list.Draining {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestHTTPDuplicateSubmissionHitsCache(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1})
+	body := fmt.Sprintf(`{"kind":"stp","stp":%q,"workers":1}`, tinySTP)
+
+	first := awaitTerminal(t, s, postJob(t, s, body).ID)
+	if first.Result == nil || first.Result.Cache != "miss" {
+		t.Fatalf("first result = %+v, want cache miss", first.Result)
+	}
+	if first.Result.PresolveSeconds <= 0 {
+		t.Fatalf("first presolve_seconds = %v, want > 0", first.Result.PresolveSeconds)
+	}
+
+	second := awaitTerminal(t, s, postJob(t, s, body).ID)
+	if second.State != StateDone || second.Result == nil {
+		t.Fatalf("second = %+v", second)
+	}
+	if second.Result.Cache != "hit" {
+		t.Fatalf("duplicate submission cache = %q, want hit", second.Result.Cache)
+	}
+	if second.Result.PresolveSeconds != 0 {
+		t.Fatalf("duplicate presolve_seconds = %v, want 0 (phase skipped)", second.Result.PresolveSeconds)
+	}
+	if second.Result.Objective != first.Result.Objective {
+		t.Fatalf("cached solve objective %v != fresh %v", second.Result.Objective, first.Result.Objective)
+	}
+	if v, ok := snapshotValue(s, "serve.cache.hit"); !ok || v < 1 {
+		t.Fatalf("serve.cache.hit = %v (present %v), want >= 1", v, ok)
+	}
+	// /metrics carries the counter in Prometheus form.
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "serve_cache_hit") {
+		t.Error("/metrics missing serve_cache_hit")
+	}
+	if !strings.Contains(string(prom), "serve_jobs_done") {
+		t.Error("/metrics missing serve_jobs_done")
+	}
+}
+
+func TestHTTPSSEStreamCarriesSolveEvents(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1, SSEHeartbeat: 20 * time.Millisecond})
+	release := make(chan struct{})
+	finish := make(chan struct{})
+	s.sched.solve = func(app core.App, prob *scip.Prob, offset float64, cfg ug.Config) (*ug.Result, error) {
+		<-release
+		for i := 0; i < 5; i++ {
+			cfg.Trace.Emit(obs.Event{Kind: "incumbent", Primal: float64(10 - i), Dual: 1})
+		}
+		// Park until the client has drained the frames: closing the bus
+		// (which ends the job) discards undelivered backlog by design.
+		<-finish
+		return &ug.Result{Optimal: true, Obj: 5, DualBound: 5}, nil
+	}
+
+	st := postJob(t, s, fmt.Sprintf(`{"kind":"stp","stp":%q}`, tinySTP))
+	resp, err := http.Get("http://" + s.Addr() + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	// The subscriber is attached once the response headers are out;
+	// release the solve and read frames until the job ends the stream.
+	close(release)
+	var frames []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			frames = append(frames, strings.TrimPrefix(line, "data: "))
+			if len(frames) == 5 {
+				close(finish) // all frames seen: let the job finish
+			}
+		}
+	}
+	if len(frames) < 5 {
+		t.Fatalf("got %d SSE data frames, want >= 5", len(frames))
+	}
+	var ev obs.Event
+	if err := json.Unmarshal([]byte(frames[0]), &ev); err != nil {
+		t.Fatalf("frame %q not event JSON: %v", frames[0], err)
+	}
+	if ev.Kind != "incumbent" || ev.Primal != 10 {
+		t.Fatalf("first frame = %+v, want incumbent primal 10", ev)
+	}
+	if awaitTerminal(t, s, st.ID).State != StateDone {
+		t.Fatal("job did not finish after stream ended")
+	}
+}
+
+func TestHTTPCancelAndErrors(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1})
+	s.sched.solve = blockingSolve
+
+	st := postJob(t, s, fmt.Sprintf(`{"kind":"stp","stp":%q}`, tinySTP))
+	req, _ := http.NewRequest(http.MethodDelete, "http://"+s.Addr()+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	if final := awaitTerminal(t, s, st.ID); final.State != StateCancelled {
+		t.Fatalf("after DELETE: %s, want cancelled", final.State)
+	}
+
+	// Unknown job: 404. Bad spec: 400. Unknown field: 400.
+	for _, c := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodGet, "/v1/jobs/job-999", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/jobs", `{"kind":"nope"}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"kind":"stp","stp":"x","bogus":1}`, http.StatusBadRequest},
+		{http.MethodPut, "/v1/jobs", "", http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(c.method, "http://"+s.Addr()+c.path, strings.NewReader(c.body))
+		if c.body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestHTTPQueueFull(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1, QueueCap: 1})
+	s.sched.solve = blockingSolve
+
+	body := fmt.Sprintf(`{"kind":"stp","stp":%q}`, tinySTP)
+	running := postJob(t, s, body) // occupies the solve lane
+	waitState(t, mustJob(t, s, running.ID), StateRunning)
+	postJob(t, s, body) // fills the queue
+
+	resp, err := http.Post("http://"+s.Addr()+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST = %d, want 429", resp.StatusCode)
+	}
+	if v, _ := snapshotValue(s, "serve.jobs.rejected"); v < 1 {
+		t.Errorf("serve.jobs.rejected = %v, want >= 1", v)
+	}
+}
+
+func mustJob(t *testing.T, s *Server, id string) *Job {
+	t.Helper()
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	return j
+}
+
+func TestDrainFinishesRunningRejectsNew(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1, SSEHeartbeat: 20 * time.Millisecond})
+	s.sched.solve = blockingSolve
+
+	body := fmt.Sprintf(`{"kind":"stp","stp":%q}`, tinySTP)
+	running := postJob(t, s, body)
+	waitState(t, mustJob(t, s, running.ID), StateRunning)
+	queued := postJob(t, s, body)
+
+	drained := s.Drain(150 * time.Millisecond)
+	if drained != 1 {
+		t.Fatalf("Drain reported %d running jobs, want 1", drained)
+	}
+	if st := mustJob(t, s, queued.ID).State(); st != StateCancelled {
+		t.Fatalf("queued job after drain: %s, want cancelled", st)
+	}
+	if st := mustJob(t, s, running.ID).State(); st != StateCancelled {
+		t.Fatalf("running job after grace expiry: %s, want cancelled", st)
+	}
+	if _, err := s.Submit(Spec{Kind: "stp", STP: tinySTP}); err != ErrDraining {
+		t.Fatalf("Submit during drain = %v, want ErrDraining", err)
+	}
+	// The HTTP plane is down after the drain completes.
+	if _, err := http.Get("http://" + s.Addr() + "/statusz"); err == nil {
+		t.Error("HTTP server still answering after drain")
+	}
+}
+
+func TestStatuszSummarizes(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1})
+	awaitTerminal(t, s, postJob(t, s, fmt.Sprintf(`{"kind":"stp","stp":%q,"workers":1}`, tinySTP)).ID)
+	resp, err := http.Get("http://" + s.Addr() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{"uptime_seconds", "draining false", "jobs_done 1", "cache_entries 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz missing %q in:\n%s", want, body)
+		}
+	}
+}

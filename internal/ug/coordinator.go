@@ -30,6 +30,14 @@ type Config struct {
 
 	TimeLimit float64 // seconds; 0 = none
 
+	// Cancel, when non-nil, requests a cooperative stop once the channel
+	// is closed: the coordinator interrupts all running solvers exactly
+	// as if the time limit had fired, and the run finishes as
+	// interrupted with a complete trace (run.start … run.end). This is
+	// how a serving layer cancels a job and how the CLIs translate
+	// SIGINT/SIGTERM into a graceful wind-down.
+	Cancel <-chan struct{}
+
 	CheckpointPath  string  // non-empty enables checkpointing
 	CheckpointEvery float64 // seconds between checkpoints (default 1s)
 	RestartFrom     string  // checkpoint file to restore
@@ -345,6 +353,13 @@ func (co *coordinator) run() (*Result, error) {
 		}
 		if !co.stopping && co.cfg.TimeLimit > 0 && elapsed > co.cfg.TimeLimit {
 			co.beginStop()
+		}
+		if !co.stopping && co.cfg.Cancel != nil {
+			select {
+			case <-co.cfg.Cancel:
+				co.beginStop()
+			default:
+			}
 		}
 		if co.finished() {
 			return co.finalize(), nil

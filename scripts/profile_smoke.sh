@@ -75,7 +75,7 @@ grep -q '^# TYPE ' "$METRICS" || {
     echo "profile-smoke: /metrics has no TYPE comments" >&2
     exit 1
 }
-if BAD=$(grep -Ev '^#|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eEInfNa]+$' "$METRICS"); then
+if BAD=$(grep -Ev '^#|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eEInfNa-]+$' "$METRICS"); then
     echo "profile-smoke: malformed /metrics line(s):" >&2
     echo "$BAD" >&2
     exit 1
