@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the full verification gate.
 
-.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke telemetry-smoke serve-smoke
+.PHONY: build test lint lint-json lint-fix-list race fmt check bench-hot trace-smoke net-smoke profile-smoke telemetry-smoke serve-smoke postmortem-smoke
 
 build:
 	go build ./...
@@ -32,7 +32,7 @@ lint-fix-list:
 	-go run ./cmd/ugolint -q -group ./...
 
 race:
-	go test -race ./internal/ug/... ./internal/scip/... ./internal/serve/...
+	go test -race ./internal/ug/... ./internal/scip/... ./internal/serve/... ./internal/obs/...
 
 fmt:
 	gofmt -w .
@@ -72,6 +72,14 @@ net-smoke:
 # profile-smoke is the historical name for the same gate.
 telemetry-smoke profile-smoke:
 	./scripts/profile_smoke.sh
+
+# postmortem-smoke exercises the forensics pipeline on purpose-injected
+# failures: a worker panic in an in-process solve and a watchdog stall in
+# a distributed solve must each leave a bundle that ugtrace -postmortem
+# validates — naming the panicking goroutine and the stalest rank
+# respectively (see scripts/postmortem_smoke.sh).
+postmortem-smoke:
+	./scripts/postmortem_smoke.sh
 
 # serve-smoke drives the ugserve daemon end to end over its HTTP API:
 # STP + MISDP jobs solved to optimality, a duplicate submission hitting

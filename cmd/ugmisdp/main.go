@@ -26,6 +26,8 @@ import (
 	"repro/internal/misdp/testsets"
 	"repro/internal/obs"
 	"repro/internal/ug"
+	"repro/internal/ug/comm"
+	netcomm "repro/internal/ug/comm/net"
 )
 
 func main() {
@@ -48,6 +50,13 @@ func main() {
 		netProcs   = flag.Int("net-procs", 0, "single-machine distributed mode: self-spawn N worker processes")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, /statusz, Prometheus /metrics and the /events SSE stream on this address during the solve")
 		watchdog   = flag.Duration("watchdog", 0, "stall watchdog: after this long without progress events, emit watchdog.stall and write a goroutine dump (0 = off)")
+		forensics  = flag.String("forensics", "", "directory for post-mortem forensics bundles (default: <trace>.postmortem when -trace is set, else ug-postmortem)")
+
+		// Fault-injection hooks for the post-mortem smoke tests — they
+		// crash or stall a healthy run on purpose so the forensics
+		// pipeline can be exercised end to end.
+		testPanicRank = flag.Int("test-panic-rank", 0, "fault injection: this in-process worker rank panics on its first subproblem (0 = off)")
+		testDelayTerm = flag.Duration("test-delay-term", 0, "fault injection: a net worker delays its first outgoing terminated frame by this long, stalling the coordinator (0 = off)")
 	)
 	flag.Parse()
 
@@ -64,8 +73,18 @@ func main() {
 			pf.Close()
 		}()
 	}
-	tele := newTelemetry(*tracePath, *pprofAddr, *watchdog, *stats)
+	extra := map[string]string{
+		"family": *family, "n": fmt.Sprint(*n), "k": fmt.Sprint(*k),
+		"seed": fmt.Sprint(*seed), "workers": fmt.Sprint(*workers),
+	}
+	tele := newTelemetry(*tracePath, *pprofAddr, *forensics, *watchdog, extra)
 	tracer := tele.tracer
+	var fault *netcomm.FaultPlan
+	if *testDelayTerm > 0 {
+		fault = netcomm.NewFaultPlan(netcomm.FaultRule{
+			Tag: comm.TagTerminated, Nth: 1, Action: netcomm.FaultDelay, Delay: *testDelayTerm,
+		})
+	}
 	// The sequential solver has no cooperative stop channel; leaving the
 	// default signal disposition there keeps ^C an immediate exit.
 	var cancel <-chan struct{}
@@ -119,6 +138,7 @@ func main() {
 			Connect: *netConnect, Rank: *rank, Seed: *seed,
 			Trace: tracer, Metrics: tele.reg, Cancel: cancel,
 			Bus: tele.bus, Watchdog: *watchdog, StallDumpPath: tele.dump,
+			Capture: tele.capture, Fault: fault,
 		})
 		if cerr := tracer.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -140,6 +160,7 @@ func main() {
 		app := misdp.NewApp(inst, 4)
 		wd := obs.StartWatchdog(obs.WatchdogConfig{
 			Bus: tele.bus, Tracer: tracer, Quiet: *watchdog, DumpPath: tele.dump,
+			Capture: tele.capture,
 		})
 		solver, st, _ := core.SolveSequentialTraced(app, set, tracer)
 		wd.Stop()
@@ -175,7 +196,10 @@ func main() {
 	}
 
 	app := mkApp()
-	cfg := ug.Config{Workers: *workers, TimeLimit: *timeLimit, Trace: tracer, Metrics: tele.reg, Cancel: cancel}
+	cfg := ug.Config{
+		Workers: *workers, TimeLimit: *timeLimit, Trace: tracer, Metrics: tele.reg, Cancel: cancel,
+		Capture: tele.capture, TestPanicRank: *testPanicRank,
+	}
 	if *racing || *mode == "hybrid" {
 		cfg.RampUp = ug.RampUpRacing
 		cfg.RacingTime = 0.3
@@ -188,19 +212,25 @@ func main() {
 			"-family", *family, "-n", fmt.Sprint(*n), "-k", fmt.Sprint(*k),
 			"-seed", fmt.Sprint(*seed), "-mode", *mode,
 		}
+		if *testDelayTerm > 0 {
+			workerArgs = append(workerArgs, "-test-delay-term", testDelayTerm.String())
+		}
 		res, _, err = core.SolveNetParallel(app, cfg, core.NetRun{
-			Listen:          *netListen,
-			Procs:           *netProcs,
-			WorkerArgs:      workerArgs,
-			Seed:            *seed,
-			WorkerTraceBase: *tracePath,
-			Bus:             tele.bus,
-			Watchdog:        *watchdog,
-			StallDumpPath:   tele.dump,
+			Listen:             *netListen,
+			Procs:              *netProcs,
+			WorkerArgs:         workerArgs,
+			Seed:               *seed,
+			WorkerTraceBase:    *tracePath,
+			Bus:                tele.bus,
+			Watchdog:           *watchdog,
+			StallDumpPath:      tele.dump,
+			Capture:            tele.capture,
+			WorkerForensicsDir: tele.capture.Dir,
 		})
 	} else {
 		wd := obs.StartWatchdog(obs.WatchdogConfig{
 			Bus: tele.bus, Tracer: tracer, Quiet: *watchdog, DumpPath: tele.dump,
+			Capture: tele.capture,
 		})
 		res, _, err = core.SolveParallel(app, cfg)
 		wd.Stop()
@@ -238,23 +268,33 @@ func main() {
 }
 
 // telemetry bundles one process's observability plumbing: the tracer
-// (over the file sink, the live bus, or both), the bus live subscribers
-// attach to, the metrics registry, and the watchdog's dump path.
+// (over the recorder, the file sink, the live bus, or all three), the
+// bus live subscribers attach to, the always-on flight recorder, the
+// metrics registry, the forensics capturer every failure edge bundles
+// through, and the watchdog's dump path.
 type telemetry struct {
-	tracer *obs.Tracer
-	bus    *obs.Bus
-	reg    *obs.Registry
-	dump   string
+	tracer  *obs.Tracer
+	bus     *obs.Bus
+	rec     *obs.Recorder
+	reg     *obs.Registry
+	capture *obs.Capturer
+	dump    string
 }
 
 // newTelemetry wires the telemetry plane from the CLI flags. The file
-// sink (when -trace is given) stays the authoritative trace: the bus
-// tees in front of it only when something live wants events (-pprof's
-// /events stream or the -watchdog), and the file bytes are identical
-// either way. With -pprof it also starts the debug server (which lives
-// until process exit) serving pprof, /statusz, /metrics and /events.
-func newTelemetry(tracePath, pprofAddr string, watchdog time.Duration, stats bool) telemetry {
+// sink (when -trace is given) stays the authoritative trace: the flight
+// recorder tees in front of it (forwarding downstream first, so the
+// file bytes are identical either way), and the bus tees in front of
+// the recorder only when something live wants events (-pprof's /events
+// stream or the -watchdog). The recorder and the metrics registry are
+// always on — that is what makes a post-mortem bundle useful on a run
+// that had no -trace — and the capturer is what every failure edge
+// (panic, watchdog stall, run error) writes its bundle through. With
+// -pprof it also starts the debug server (which lives until process
+// exit) serving pprof, /statusz, /metrics and /events.
+func newTelemetry(tracePath, pprofAddr, forensics string, watchdog time.Duration, extra map[string]string) telemetry {
 	var t telemetry
+	t.reg = obs.NewRegistry()
 	var sink obs.Sink
 	if tracePath != "" {
 		fs, err := obs.NewFileSink(tracePath)
@@ -263,16 +303,20 @@ func newTelemetry(tracePath, pprofAddr string, watchdog time.Duration, stats boo
 		}
 		sink = fs
 	}
-	if stats || pprofAddr != "" || watchdog > 0 {
-		t.reg = obs.NewRegistry()
-	}
+	t.rec = obs.NewRecorder(sink, 0)
+	sink = t.rec
 	if pprofAddr != "" || watchdog > 0 {
 		t.bus = obs.NewBus(sink, t.reg)
 		sink = t.bus
 	}
-	if sink != nil {
-		t.tracer = obs.NewTracer(sink)
+	t.tracer = obs.NewTracer(sink)
+	if forensics == "" {
+		forensics = "ug-postmortem"
+		if tracePath != "" {
+			forensics = tracePath + ".postmortem"
+		}
 	}
+	t.capture = &obs.Capturer{Dir: forensics, Recorder: t.rec, Registry: t.reg, Extra: extra}
 	if watchdog > 0 {
 		t.dump = "ug-stall-goroutines.txt"
 		if tracePath != "" {

@@ -13,7 +13,9 @@
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        one job's status/result
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
-//	GET    /v1/jobs/{id}/events per-job SSE event stream
+//	GET    /v1/jobs/{id}/events per-job SSE event stream (replays the
+//	                            flight-recorder tail after completion)
+//	GET    /v1/jobs/{id}/debug  forensics bundle tarball (failed jobs)
 //	GET    /metrics             Prometheus text exposition
 //	GET    /statusz             human-readable service summary
 //	GET    /debug/pprof/        live profiling
@@ -41,6 +43,7 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "presolve cache LRU byte budget (0 = unbounded)")
 		defWorkers = flag.Int("workers", 2, "default ParaSolvers per job (overridable per submission)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a drain lets running solves finish before stopping them")
+		debugDir   = flag.String("debug-dir", "ugserve-debug", "directory for per-job forensics bundles on failed/deadline jobs (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,7 @@ func main() {
 		QueueCap:       *queueCap,
 		CacheBytes:     *cacheBytes,
 		DefaultWorkers: *defWorkers,
+		DebugDir:       *debugDir,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "ugserve:", err)

@@ -24,6 +24,8 @@
 //	ugtrace -load run.trace       # CSV of in-flight and open nodes over ticks
 //	ugtrace -critpath run.trace   # longest dispatch→outcome chain + idle attribution
 //
+//	ugtrace -postmortem bundle-dir   # validate + summarize a forensics bundle
+//
 //	ugtrace -merge run.trace run.trace.rank1 run.trace.rank2   # merged JSONL to stdout
 //	ugtrace -merge -o merged.trace run.trace run.trace.rank*   # merged JSONL to a file
 //	ugtrace -merge -validate run.trace run.trace.rank*         # cross-rank validation only
@@ -55,8 +57,17 @@ func main() {
 		merge        = flag.Bool("merge", false, "merge multiple per-rank traces into one causal timeline (Lamport-clock order)")
 		output       = flag.String("o", "", "with -merge: write the merged JSONL trace to this file")
 		frames       = flag.Bool("frames", false, "validate a captured /events SSE frame log: each line (after any 'data: ' prefix) must parse as a schema-known event; stream invariants are not checked")
+		postmortem   = flag.Bool("postmortem", false, "validate and summarize a forensics bundle directory (written on panic, stall, run error or failed job)")
 	)
 	flag.Parse()
+	if *postmortem {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: ugtrace -postmortem <bundle-dir>")
+			os.Exit(2)
+		}
+		runPostmortem(flag.Arg(0))
+		return
+	}
 	if *frames {
 		runFrames()
 		return

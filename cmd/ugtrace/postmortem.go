@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// postmortemWindow is how many trailing events the timeline section
+// renders — enough to see what the process was doing when it died
+// without scrolling past the diagnosis.
+const postmortemWindow = 12
+
+// postmortemProgress mirrors the watchdog's notion of progress: the
+// event kinds whose Rank field identifies a working solver, used for
+// the per-rank last-activity table.
+var postmortemProgress = map[string]bool{
+	obs.KindDispatch: true, obs.KindOutcome: true, obs.KindStatus: true,
+	obs.KindIncumbent: true, obs.KindWorkerShip: true, obs.KindWorkerSol: true,
+	obs.KindCollectNode: true, obs.KindScipNode: true,
+}
+
+// runPostmortem is the -postmortem mode: validate a forensics bundle
+// directory written by the obs.Capturer (on a panic, watchdog stall,
+// run error or failed ugserve job) and render the diagnosis — what
+// triggered the capture, the panicking goroutine if any, the last
+// bounds, per-rank last activity, and the final window of events. One
+// command from "it died" to knowing why; exits non-zero on a bundle
+// that fails validation.
+func runPostmortem(dir string) {
+	b, err := obs.ReadBundle(dir)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	m := b.Manifest
+	fmt.Fprintf(w, "=== post-mortem bundle %s ===\n", b.Dir)
+	fmt.Fprintf(w, "trigger:    %s — %s\n", m.Reason, m.Detail)
+	fmt.Fprintf(w, "captured:   %s (pid %d on %s)\n", m.Time, m.PID, m.Hostname)
+	args := m.Args
+	if len(args) > 0 {
+		args = args[1:]
+	}
+	fmt.Fprintf(w, "process:    %s %v (%s)\n", m.Executable, args, m.GoVersion)
+	for k, v := range m.Extra {
+		fmt.Fprintf(w, "extra:      %s = %s\n", k, v)
+	}
+	if b.PanicValue != "" {
+		fmt.Fprintf(w, "panic:      %s\n", b.PanicValue)
+		fmt.Fprintf(w, "goroutine:  %s (full stack in %s/panic.txt)\n", b.PanicGoroutine, b.Dir)
+	}
+	fmt.Fprintln(w)
+
+	reportLastBounds(w, b.Events)
+	reportLastActivity(w, b.Events)
+	reportFinalWindow(w, b.Events)
+	fmt.Fprintf(w, "ok: bundle valid, %d events\n", len(b.Events))
+}
+
+// reportLastBounds prints the final dual/primal bounds seen in the
+// recorded window (if any bound-carrying event made it in).
+func reportLastBounds(w io.Writer, events []obs.Event) {
+	var last *obs.Event
+	for i := range events {
+		switch events[i].Kind {
+		case obs.KindDualBound, obs.KindIncumbent, obs.KindRunEnd, obs.KindScipNode:
+			last = &events[i]
+		}
+	}
+	fmt.Fprintln(w, "=== last bounds ===")
+	if last == nil {
+		fmt.Fprintln(w, "(no bound events in the recorded window)")
+	} else {
+		fmt.Fprintf(w, "tick %d (%s): dual %.6g, primal %.6g\n", last.Tick, last.Kind, last.Dual, last.Primal)
+	}
+	fmt.Fprintln(w)
+}
+
+// reportLastActivity prints each rank's last progress event — the
+// post-mortem analogue of the watchdog's per-rank staleness summary —
+// and re-surfaces any watchdog.stall event the window caught.
+func reportLastActivity(w io.Writer, events []obs.Event) {
+	lastTick := map[int]int64{}
+	lastKind := map[int]string{}
+	for _, e := range events {
+		if postmortemProgress[e.Kind] {
+			lastTick[e.Rank] = e.Tick
+			lastKind[e.Rank] = e.Kind
+		}
+	}
+	fmt.Fprintln(w, "=== per-rank last activity ===")
+	if len(lastTick) == 0 {
+		fmt.Fprintln(w, "(no progress events in the recorded window)")
+	}
+	for _, rank := range sortedRanks(lastTick) {
+		fmt.Fprintf(w, "rank %-3d last seen at tick %d (%s)\n", rank, lastTick[rank], lastKind[rank])
+	}
+	for _, e := range events {
+		if e.Kind == obs.KindWatchdogStall {
+			fmt.Fprintf(w, "STALL at tick %d: %d rank(s) quiet, stalest rank %d — %s\n",
+				e.Tick, e.Open, e.Rank, e.Str)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// reportFinalWindow renders the trailing events of the recorded tail.
+func reportFinalWindow(w io.Writer, events []obs.Event) {
+	fmt.Fprintf(w, "=== final timeline window (last %d of %d events) ===\n",
+		min(postmortemWindow, len(events)), len(events))
+	start := len(events) - postmortemWindow
+	if start < 0 {
+		start = 0
+	}
+	for _, e := range events[start:] {
+		fmt.Fprintf(w, "seq %-6d tick %-6d %-14s rank %-3d", e.Seq, e.Tick, e.Kind, e.Rank)
+		if e.Str != "" {
+			fmt.Fprintf(w, " %s", e.Str)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

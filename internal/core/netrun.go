@@ -59,6 +59,20 @@ type NetRun struct {
 	// StallDumpPath is where the watchdog writes its goroutine dump
 	// (conventionally `<trace>.stall-goroutines`).
 	StallDumpPath string
+	// Capture, when armed, is this process's post-mortem bundle writer:
+	// watchdog stalls, transport pump panics, worker-loop panics and
+	// error returns all capture through it. (The coordinator's solve-path
+	// triggers run through ug.Config.Capture — pass the same capturer.)
+	Capture *obs.Capturer
+	// WorkerForensicsDir, when non-empty, makes the self-spawning
+	// coordinator pass each worker `-forensics <dir>`, so every process
+	// of a -net-procs run drops its bundles in one shared directory
+	// (bundle names embed the pid, so processes never collide).
+	WorkerForensicsDir string
+	// Fault is the test-only fault-injection plan for a worker's
+	// transport endpoint (nil disables injection); the smoke tests use
+	// it to stall a solve on purpose.
+	Fault *netcomm.FaultPlan
 	// Cancel, when non-nil, requests a graceful wind-down once closed
 	// (the CLIs close it on SIGINT/SIGTERM). On a worker the comm is
 	// closed after a short grace window — the window lets a coordinator
@@ -86,7 +100,16 @@ func (nr NetRun) Worker() bool { return nr.Connect != "" }
 // model, cross the wire), dial the coordinator, serve subproblems until
 // termination, and hang up. It returns when the coordinator terminates
 // the run or the transport reports the coordinator gone.
-func RunNetWorker(app App, nr NetRun) error {
+func RunNetWorker(app App, nr NetRun) (err error) {
+	// Both failure edges of a worker process leave a forensics bundle:
+	// a panic anywhere below (captured, bundled, rethrown) and an error
+	// return (bundled on the way out).
+	defer nr.Capture.CapturePanic("net.worker")
+	defer func() {
+		if err != nil && nr.Capture.Armed() {
+			_, _ = nr.Capture.WriteBundle("error", err.Error())
+		}
+	}()
 	if !nr.Worker() {
 		return fmt.Errorf("core: RunNetWorker needs a -net-connect address")
 	}
@@ -97,7 +120,10 @@ func RunNetWorker(app App, nr NetRun) error {
 	if _, _, err := f.GlobalPresolve(); err != nil {
 		return fmt.Errorf("core: worker presolve: %w", err)
 	}
-	c, err := netcomm.Dial(nr.Connect, nr.Rank, netcomm.Options{Seed: nr.Seed, Trace: nr.Trace, Metrics: nr.Metrics})
+	c, err := netcomm.Dial(nr.Connect, nr.Rank, netcomm.Options{
+		Seed: nr.Seed, Trace: nr.Trace, Metrics: nr.Metrics,
+		Fault: nr.Fault, Capture: nr.Capture,
+	})
 	if err != nil {
 		return err
 	}
@@ -145,6 +171,7 @@ func startWatchdog(nr NetRun, tr *obs.Tracer) *obs.Watchdog {
 		Tracer:   tr,
 		Quiet:    nr.Watchdog,
 		DumpPath: nr.StallDumpPath,
+		Capture:  nr.Capture,
 	})
 }
 
@@ -196,6 +223,9 @@ func SolveNetParallel(app App, cfg ug.Config, nr NetRun) (*ug.Result, *Factory, 
 				// stall event and goroutine dump on that rank.
 				args = append(args, "-watchdog", nr.Watchdog.String())
 			}
+			if nr.WorkerForensicsDir != "" {
+				args = append(args, "-forensics", nr.WorkerForensicsDir)
+			}
 			args = append(args, "-net-connect", ln.Addr(), "-rank", strconv.Itoa(rank))
 			cmd := exec.Command(exe, args...)
 			// Workers write nothing in normal operation; route what they
@@ -216,6 +246,7 @@ func SolveNetParallel(app App, cfg ug.Config, nr NetRun) (*ug.Result, *Factory, 
 		Seed:    nr.Seed,
 		Trace:   cfg.Trace,
 		Metrics: cfg.Metrics,
+		Capture: nr.Capture,
 	})
 	if err != nil {
 		killAll()

@@ -20,8 +20,9 @@ import (
 // holes under backpressure; the file trace never does — which is why the
 // file sink stays the source of truth for determinism checks and merges.
 type Bus struct {
-	sink    Sink     // optional downstream (file) sink; may be nil
-	dropCtr *Counter // the obs.bus.dropped registry counter (nil-safe)
+	sink     Sink     // optional downstream (file) sink; may be nil
+	dropCtr  *Counter // the obs.bus.dropped registry counter (nil-safe)
+	subGauge *Gauge   // the obs.bus.subscribers registry gauge (nil-safe)
 
 	mu     sync.Mutex // guards subscription changes, not the fan-out
 	subs   map[int]*subscriber
@@ -47,7 +48,12 @@ const busRingCap = 1024
 // NewBus creates a bus teeing into sink (may be nil for a live-only bus
 // with no trace file) and counting drops into reg (may be nil).
 func NewBus(sink Sink, reg *Registry) *Bus {
-	return &Bus{sink: sink, dropCtr: reg.Counter("obs.bus.dropped"), subs: map[int]*subscriber{}}
+	return &Bus{
+		sink:     sink,
+		dropCtr:  reg.Counter("obs.bus.dropped"),
+		subGauge: reg.Gauge("obs.bus.subscribers"),
+		subs:     map[int]*subscriber{},
+	}
 }
 
 // subscriber is one bounded fan-out lane. The bus appends into the ring
@@ -118,13 +124,17 @@ func (s *subscriber) push(ev Event, b *Bus) {
 	}
 }
 
-// refan rebuilds the emit path's subscriber snapshot. Callers hold b.mu.
+// refan rebuilds the emit path's subscriber snapshot and mirrors the
+// live fan-out width into the obs.bus.subscribers gauge (so /statusz
+// and /metrics show how many SSE/watchdog/recorder lanes are attached).
+// Callers hold b.mu — the one lock every subscription change takes.
 func (b *Bus) refan() {
 	subs := make([]*subscriber, 0, len(b.subs))
 	for _, s := range b.subs {
 		subs = append(subs, s)
 	}
 	b.fan.Store(&subs)
+	b.subGauge.Set(int64(len(subs)))
 }
 
 // Subscribe registers a live event consumer. With no kinds every event

@@ -245,6 +245,40 @@ func TestDebugServerMetricsNilRegistry(t *testing.T) {
 	}
 }
 
+// TestPromBusSubscribersGauge: the bus exports its live subscriber count
+// as obs.bus.subscribers, and the gauge tracks attach/detach through the
+// grammar-valid exposition.
+func TestPromBusSubscribersGauge(t *testing.T) {
+	reg := NewRegistry()
+	bus := NewBus(nil, reg)
+	defer bus.Close()
+	_, cancel1 := bus.Subscribe()
+	_, cancel2 := bus.Subscribe()
+	defer cancel2()
+
+	render := func() string {
+		var sb strings.Builder
+		if err := WriteProm(&sb, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		checkPromGrammar(t, sb.String())
+		return sb.String()
+	}
+	out := render()
+	for _, want := range []string{
+		"# TYPE obs_bus_subscribers gauge\n",
+		"obs_bus_subscribers 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	cancel1()
+	if out := render(); !strings.Contains(out, "obs_bus_subscribers 1\n") {
+		t.Errorf("gauge did not track detach:\n%s", out)
+	}
+}
+
 // TestStatuszIntegerFormatting pins the WriteTable satellite fix: large
 // counters must render as integers, not %g scientific notation.
 func TestStatuszIntegerFormatting(t *testing.T) {

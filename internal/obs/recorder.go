@@ -1,0 +1,105 @@
+package obs
+
+import "sync"
+
+// recorderDefaultCap is the ring size used when NewRecorder is given a
+// non-positive capacity. 512 events is roughly the last few collect
+// rounds of a busy solve — enough context to see what the run was doing
+// when it died, small enough (~50 KiB) to keep resident in every
+// process unconditionally.
+const recorderDefaultCap = 512
+
+// Recorder is the black-box flight recorder: a Sink that forwards every
+// event to its downstream sink unchanged (so trace bytes stay identical
+// whether or not a recorder is in the chain) and retains the last N
+// events in a fixed-size ring. Unlike the Bus — which only serves *live*
+// subscribers — the ring stays readable after Close, so a post-mortem
+// capturer can still ask "what were the final events?" after the solve
+// path has torn its telemetry down.
+//
+// It is always-on by design: the CLIs install one even when -trace is
+// off (downstream sink nil), so a panic or stall in an uninstrumented
+// run still leaves an event history for the forensics bundle.
+//
+// The nil *Recorder is the disabled recorder; all methods are no-ops.
+type Recorder struct {
+	sink Sink // optional downstream (file) sink; may be nil
+
+	// mu guards the ring only. Tracer-borne Emit calls are already
+	// serialized by the tracer's lock, but WriteBundle snapshots the
+	// ring from an arbitrary goroutine mid-emission, so ring access
+	// needs its own (short, uncontended) critical section.
+	mu    sync.Mutex
+	ring  []Event
+	start int // index of oldest retained event
+	n     int // retained event count
+}
+
+// NewRecorder creates a flight recorder retaining the last capacity
+// events, teeing into sink (may be nil for a record-only chain end).
+// capacity <= 0 selects the default.
+func NewRecorder(sink Sink, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = recorderDefaultCap
+	}
+	return &Recorder{sink: sink, ring: make([]Event, capacity)}
+}
+
+// Emit implements Sink: forward downstream first (the file sink sees
+// exactly the byte stream it would without a recorder), then overwrite
+// the oldest ring slot. The ring is preallocated and events are plain
+// value copies, so steady-state emission allocates nothing.
+//
+//ugo:hotpath flight recorder on the trace path: one downstream call plus a struct copy into a preallocated ring under a short uncontended mutex
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	if r.sink != nil {
+		r.sink.Emit(ev)
+	}
+	r.mu.Lock()
+	if r.n == len(r.ring) {
+		r.ring[r.start] = ev
+		r.start = (r.start + 1) % len(r.ring)
+	} else {
+		r.ring[(r.start+r.n)%len(r.ring)] = ev
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Close implements Sink: it closes the downstream sink but deliberately
+// keeps the ring readable — post-mortem capture for a failed ugserve job
+// or an ug.Outcome error path runs after the tracer is closed.
+func (r *Recorder) Close() error {
+	if r == nil || r.sink == nil {
+		return nil
+	}
+	return r.sink.Close()
+}
+
+// Events returns the retained events, oldest first. The returned slice
+// is a snapshot; later emissions do not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.ring[(r.start+i)%len(r.ring)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

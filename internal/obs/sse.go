@@ -90,3 +90,42 @@ func ServeSSE(w http.ResponseWriter, r *http.Request, bus *Bus, opts SSEOptions)
 		}
 	}
 }
+
+// ReplaySSE writes a fixed event list to one HTTP client in the same
+// SSE frame format ServeSSE streams live, then ends the stream. It is
+// the after-the-fact companion for finished runs: ugserve replays a
+// terminal job's flight-recorder tail through it, so a client that
+// arrives after completion still sees the last window of events
+// (`?kind=` filtering works the same as on the live stream).
+func ReplaySSE(w http.ResponseWriter, r *http.Request, events []Event) {
+	var kinds map[string]bool
+	for _, v := range r.URL.Query()["kind"] {
+		for _, k := range strings.Split(v, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				if kinds == nil {
+					kinds = map[string]bool{}
+				}
+				kinds[k] = true
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	var buf []byte
+	for _, ev := range events {
+		if kinds != nil && !kinds[ev.Kind] {
+			continue
+		}
+		buf = append(buf[:0], "data: "...)
+		buf = ev.AppendJSON(buf)
+		buf = append(buf, '\n', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

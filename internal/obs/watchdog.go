@@ -39,6 +39,16 @@ type WatchdogConfig struct {
 	// OnStall, when non-nil, is called after each firing with the emitted
 	// event — a test and ugserve hook.
 	OnStall func(Event)
+	// Capture, when armed, upgrades the first firing of each stall
+	// episode from a bare goroutine dump into a full forensics bundle
+	// (reason "stall", detail naming the stalest rank). Re-fires of a
+	// persisting stall keep the periodic event trail but write no
+	// further bundles — a long hang must not fill the disk — until
+	// progress resumes and a new episode begins. The stall event is
+	// emitted through the tracer before the bundle is written, so it is
+	// already in the recorder ring and appears as the final event of
+	// the bundle's tail.
+	Capture *Capturer
 }
 
 // Watchdog watches the live event bus for progress and raises
@@ -114,6 +124,7 @@ func (w *Watchdog) watch() {
 	last := map[int]rankActivity{}
 	lastAny := time.Now() // arm from start: a run that never progresses still fires
 	var lastFire time.Time
+	captured := false // one forensics bundle per stall episode
 	for {
 		select {
 		case ev, ok := <-w.events:
@@ -122,6 +133,7 @@ func (w *Watchdog) watch() {
 			}
 			last[ev.Rank] = rankActivity{tick: ev.Tick, wall: time.Now()}
 			lastAny = time.Now()
+			captured = false // progress resumed: next stall is a new episode
 		case <-ticker.C:
 			now := time.Now()
 			if now.Sub(lastAny) < w.cfg.Quiet {
@@ -134,13 +146,15 @@ func (w *Watchdog) watch() {
 				continue
 			}
 			lastFire = now
-			w.fire(last, now)
+			w.fire(last, now, !captured)
+			captured = true
 		}
 	}
 }
 
-// fire emits one watchdog.stall event and writes the goroutine dump.
-func (w *Watchdog) fire(last map[int]rankActivity, now time.Time) {
+// fire emits one watchdog.stall event and writes the goroutine dump;
+// firstOfEpisode gates the (heavier) forensics bundle.
+func (w *Watchdog) fire(last map[int]rankActivity, now time.Time, firstOfEpisode bool) {
 	ranks := make([]int, 0, len(last))
 	for r := range last {
 		ranks = append(ranks, r)
@@ -172,6 +186,10 @@ func (w *Watchdog) fire(last map[int]rankActivity, now time.Time) {
 			_ = pprof.Lookup("goroutine").WriteTo(f, 2)
 			_ = f.Close()
 		}
+	}
+	if firstOfEpisode && w.cfg.Capture.Armed() {
+		_, _ = w.cfg.Capture.WriteBundle("stall",
+			fmt.Sprintf("stalest rank %d quiet %s; %s", staleRank, staleSince.Round(time.Millisecond), summary))
 	}
 	w.mu.Lock()
 	w.fires++

@@ -94,7 +94,7 @@ func TestTransitionEdges(t *testing.T) {
 		{StateDeadline, StateDone, false},
 	}
 	for _, c := range cases {
-		j := newJob("t", 1, tinySpec(), nil, time.Now())
+		j := newJob("t", 1, tinySpec(), nil, nil, time.Now())
 		j.state = c.from
 		if got := j.transition(c.to); got != c.ok {
 			t.Errorf("transition %s -> %s: got %v, want %v", c.from, c.to, got, c.ok)
@@ -306,7 +306,7 @@ func TestCancelRaceStress(t *testing.T) {
 // was never attached (queued-cancelled jobs) — guard against regressions.
 func TestTerminalWithBus(t *testing.T) {
 	bus := obs.NewBus(nil, nil)
-	j := newJob("b", 1, tinySpec(), bus, time.Now())
+	j := newJob("b", 1, tinySpec(), bus, nil, time.Now())
 	if !j.transition(StateRunning) || !j.transition(StateDone) {
 		t.Fatal("transitions refused")
 	}

@@ -157,30 +157,41 @@ type Job struct {
 	// terminal state, which ends every stream.
 	bus *obs.Bus
 
+	// rec is the job's flight recorder, the bus's downstream sink: it
+	// retains the tail of the job's event stream past the terminal
+	// transition (the bus only serves live subscribers and closes with
+	// the job), so /events can replay a finished job's last window and
+	// a failure bundle has history to capture.
+	rec *obs.Recorder
+
 	// cancelCh fires (closes) on DELETE; the runner translates it into
 	// a cooperative solver stop. closed at most once via cancelOnce.
 	cancelCh   chan struct{}
 	cancelOnce sync.Once
 
-	mu       sync.Mutex
-	state    State
-	err      string // terminal failure detail
-	result   *Result
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	deadline time.Time // zero = none
+	mu           sync.Mutex
+	state        State
+	err          string // terminal failure detail
+	result       *Result
+	bundleDir    string // forensics bundle directory (failed/deadline jobs)
+	bundleReason string
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	deadline     time.Time // zero = none
 
 	done chan struct{} // closed on entering a terminal state
 }
 
-// newJob builds an admitted job in StateQueued.
-func newJob(id string, seq int64, sp Spec, bus *obs.Bus, now time.Time) *Job {
+// newJob builds an admitted job in StateQueued. rec is the bus's
+// downstream recorder (may be nil in tests that don't exercise replay).
+func newJob(id string, seq int64, sp Spec, bus *obs.Bus, rec *obs.Recorder, now time.Time) *Job {
 	j := &Job{
 		ID:       id,
 		Spec:     sp,
 		seq:      seq,
 		bus:      bus,
+		rec:      rec,
 		cancelCh: make(chan struct{}),
 		state:    StateQueued,
 		created:  now,
@@ -249,6 +260,32 @@ func (j *Job) setErr(msg string) {
 	j.mu.Unlock()
 }
 
+// Err returns the terminal failure detail ("" while healthy).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// setBundle records where the job's forensics bundle landed.
+func (j *Job) setBundle(dir, reason string) {
+	j.mu.Lock()
+	j.bundleDir = dir
+	j.bundleReason = reason
+	j.mu.Unlock()
+}
+
+// BundleDir returns the job's forensics bundle directory ("" if none).
+func (j *Job) BundleDir() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bundleDir
+}
+
+// Events returns the tail of the job's event stream retained by its
+// flight recorder — readable before, during and after the solve.
+func (j *Job) Events() []obs.Event { return j.rec.Events() }
+
 // setResult attaches the solve outcome; call before the terminal
 // transition so watchers of Done always observe it.
 func (j *Job) setResult(r *Result) {
@@ -264,18 +301,26 @@ func (j *Job) Cancel() {
 	j.cancelOnce.Do(func() { close(j.cancelCh) })
 }
 
+// DebugInfo summarizes a failed job's forensics bundle in the job JSON.
+type DebugInfo struct {
+	Bundle string `json:"bundle"` // server-side bundle directory
+	Reason string `json:"reason"` // terminal state that triggered capture
+	URL    string `json:"url"`    // GET path streaming the bundle as a tar
+}
+
 // Status is the client-facing view of a job.
 type Status struct {
-	ID       string  `json:"id"`
-	State    State   `json:"state"`
-	Kind     string  `json:"kind"`
-	Name     string  `json:"name,omitempty"` // instance display name
-	Priority int     `json:"priority,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	Created  string  `json:"created"`
-	Started  string  `json:"started,omitempty"`
-	Finished string  `json:"finished,omitempty"`
-	Result   *Result `json:"result,omitempty"`
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Kind     string     `json:"kind"`
+	Name     string     `json:"name,omitempty"` // instance display name
+	Priority int        `json:"priority,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  string     `json:"created"`
+	Started  string     `json:"started,omitempty"`
+	Finished string     `json:"finished,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+	Debug    *DebugInfo `json:"debug,omitempty"`
 }
 
 // StatusView snapshots the job for the API.
@@ -297,6 +342,13 @@ func (j *Job) StatusView() Status {
 	}
 	if !j.finished.IsZero() {
 		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.bundleDir != "" {
+		st.Debug = &DebugInfo{
+			Bundle: j.bundleDir,
+			Reason: j.bundleReason,
+			URL:    "/v1/jobs/" + j.ID + "/debug",
+		}
 	}
 	return st
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -22,6 +23,13 @@ type scheduler struct {
 
 	defaultWorkers int
 	running        *obs.Gauge // serve.jobs.running
+
+	// debugDir is the parent directory for per-job forensics bundles;
+	// empty disables capture. capture is the server-level capturer a
+	// panicking solve lane bundles through (no per-job recorder — the
+	// panic stack and profiles are process-wide evidence).
+	debugDir string
+	capture  *obs.Capturer
 
 	ctrDone      *obs.Counter // serve.jobs.done
 	ctrFailed    *obs.Counter // serve.jobs.failed
@@ -44,7 +52,7 @@ func realSolve(app core.App, prob *scip.Prob, offset float64, cfg ug.Config) (*u
 	return res, err
 }
 
-func newScheduler(q *queue, cache *PresolveCache, reg *obs.Registry, maxConcurrent, defaultWorkers int) *scheduler {
+func newScheduler(q *queue, cache *PresolveCache, reg *obs.Registry, maxConcurrent, defaultWorkers int, debugDir string) *scheduler {
 	if defaultWorkers < 1 {
 		defaultWorkers = 2
 	}
@@ -53,6 +61,8 @@ func newScheduler(q *queue, cache *PresolveCache, reg *obs.Registry, maxConcurre
 		cache:          cache,
 		reg:            reg,
 		defaultWorkers: defaultWorkers,
+		debugDir:       debugDir,
+		capture:        &obs.Capturer{Dir: debugDir, Registry: reg},
 		running:        reg.Gauge("serve.jobs.running"),
 		ctrDone:        reg.Counter("serve.jobs.done"),
 		ctrFailed:      reg.Counter("serve.jobs.failed"),
@@ -70,9 +80,12 @@ func newScheduler(q *queue, cache *PresolveCache, reg *obs.Registry, maxConcurre
 	return s
 }
 
-// worker is one solve lane: pop until the queue closes.
+// worker is one solve lane: pop until the queue closes. A panic in a
+// solve leaves a forensics bundle and then crashes the daemon as before
+// — a corrupted lane must not keep serving jobs silently.
 func (s *scheduler) worker() {
 	defer s.wg.Done()
+	defer s.capture.CapturePanic("serve.worker")
 	for {
 		j, ok := s.q.pop()
 		if !ok {
@@ -117,6 +130,7 @@ func (s *scheduler) runJob(j *Job) {
 	if dl, ok := j.Deadline(); ok && !time.Now().Before(dl) {
 		if j.transition(StateDeadline) {
 			s.countTerminal(StateDeadline)
+			s.captureJobBundle(j, StateDeadline)
 		}
 		return
 	}
@@ -162,6 +176,7 @@ func (s *scheduler) runJob(j *Job) {
 	finish := func(st State) {
 		if j.transition(st) {
 			s.countTerminal(st)
+			s.captureJobBundle(j, st)
 		}
 	}
 
@@ -252,6 +267,30 @@ func (s *scheduler) runJob(j *Job) {
 		return
 	}
 	finish(StateDone)
+}
+
+// captureJobBundle writes a forensics bundle when a job fails or blows
+// its deadline: the job's flight-recorder tail plus process profiles,
+// in a per-job directory under debugDir. The bundle location is
+// attached to the job record, which surfaces it in the job JSON and
+// makes GET /v1/jobs/{id}/debug serve it.
+func (s *scheduler) captureJobBundle(j *Job, st State) {
+	if s.debugDir == "" || (st != StateFailed && st != StateDeadline) {
+		return
+	}
+	bc := &obs.Capturer{
+		Dir:      filepath.Join(s.debugDir, j.ID),
+		Recorder: j.rec,
+		Registry: s.reg,
+		Extra: map[string]string{
+			"job":   j.ID,
+			"state": string(st),
+			"name":  j.StatusView().Name,
+		},
+	}
+	if dir, err := bc.WriteBundle("job-"+string(st), j.Err()); err == nil && dir != "" {
+		j.setBundle(dir, string(st))
+	}
 }
 
 // stoppedState maps a recorded stop cause to the terminal state,

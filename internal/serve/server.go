@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"archive/tar"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -35,12 +38,21 @@ type Config struct {
 	// SSEHeartbeat overrides the idle keepalive interval on event
 	// streams (tests lower it). Zero keeps the 15s default.
 	SSEHeartbeat time.Duration
+	// DebugDir is where per-job forensics bundles are written when a
+	// job fails or exceeds its deadline (one subdirectory per job,
+	// served back at GET /v1/jobs/{id}/debug). Empty disables capture.
+	DebugDir string
 }
 
 // maxJobSSEStreams caps concurrent per-job event streams across the
 // server, mirroring the debug server's cap: past it /events answers 503
 // instead of letting clients grow the process without bound.
 const maxJobSSEStreams = 64
+
+// jobRecorderCap is each job's flight-recorder ring size. 256 events is
+// the final stretch of a solve — bounds, dispatches, the run.end — at
+// ~25 KiB per job; retained for the job record's lifetime.
+const jobRecorderCap = 256
 
 // Server is the ugserve daemon: job queue + scheduler + presolve cache
 // behind one HTTP mux that also carries the debug-server surface
@@ -94,7 +106,7 @@ func New(cfg Config) *Server {
 		rejected:  reg.Counter("serve.jobs.rejected"),
 	}
 	s.q = newQueue(cfg.QueueCap, reg.Gauge("serve.queue.depth"))
-	s.sched = newScheduler(s.q, s.cache, reg, cfg.MaxConcurrent, cfg.DefaultWorkers)
+	s.sched = newScheduler(s.q, s.cache, reg, cfg.MaxConcurrent, cfg.DefaultWorkers, cfg.DebugDir)
 	return s
 }
 
@@ -153,7 +165,12 @@ func (s *Server) Submit(sp Spec) (*Job, error) {
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	seq := s.nextID
-	j := newJob(id, seq, sp, obs.NewBus(nil, s.reg), time.Now())
+	// The job's event plane is bus → recorder: live subscribers fan out
+	// of the bus, and the recorder (the bus's downstream sink) keeps the
+	// last window of events past the terminal transition for post-run
+	// /events replay and failure bundles.
+	rec := obs.NewRecorder(nil, jobRecorderCap)
+	j := newJob(id, seq, sp, obs.NewBus(rec, s.reg), rec, time.Now())
 	s.jobs[id] = j
 	s.order = append(s.order, j)
 	s.mu.Unlock()
@@ -333,15 +350,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.StatusView())
 	case sub == "events" && r.Method == http.MethodGet:
 		s.serveJobEvents(w, r, j)
+	case sub == "debug" && r.Method == http.MethodGet:
+		s.serveJobDebug(w, j)
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, "use GET, DELETE, or GET …/events")
+		writeErr(w, http.StatusMethodNotAllowed, "use GET, DELETE, GET …/events, or GET …/debug")
 	}
 }
 
 // serveJobEvents streams one job's live events: the shared SSE handler
 // over the job's own bus, so the stream carries exactly this job's
-// incumbent/bound/status traffic. A stream for a finished job returns
-// immediately (its bus is closed); clients see a clean end of stream.
+// incumbent/bound/status traffic. For a finished job — whose bus is
+// closed — the flight-recorder tail is replayed instead, so "what did
+// this job's last events look like?" has an answer after the fact.
 func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	if n := s.sseActive.Add(1); n > maxJobSSEStreams {
 		s.sseActive.Add(-1)
@@ -349,7 +369,49 @@ func (s *Server) serveJobEvents(w http.ResponseWriter, r *http.Request, j *Job) 
 		return
 	}
 	defer s.sseActive.Add(-1)
+	if j.State().Terminal() {
+		obs.ReplaySSE(w, r, j.Events())
+		return
+	}
 	obs.ServeSSE(w, r, j.bus, obs.SSEOptions{Heartbeat: s.cfg.SSEHeartbeat, Stop: s.stop})
+}
+
+// serveJobDebug streams a failed job's forensics bundle as a tar
+// archive. 404 until a bundle exists (healthy or still-running jobs).
+func (s *Server) serveJobDebug(w http.ResponseWriter, j *Job) {
+	dir := j.BundleDir()
+	if dir == "" {
+		writeErr(w, http.StatusNotFound, "no forensics bundle for this job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+"-debug.tar"))
+	w.WriteHeader(http.StatusOK)
+	tw := tar.NewWriter(w)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return // headers are out; nothing more we can report in-band
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue // bundles are flat; skip anything unexpected
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return
+		}
+		hdr := &tar.Header{Name: e.Name(), Mode: 0o644, Size: int64(len(data))}
+		if info, err := e.Info(); err == nil {
+			hdr.ModTime = info.ModTime()
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return
+		}
+		if _, err := tw.Write(data); err != nil {
+			return
+		}
+	}
+	_ = tw.Close()
 }
 
 // handleMetrics serves Prometheus text exposition of the process gauges

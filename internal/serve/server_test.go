@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"archive/tar"
 	"bufio"
 	"encoding/json"
 	"fmt"
@@ -316,6 +317,124 @@ func TestDrainFinishesRunningRejectsNew(t *testing.T) {
 	// The HTTP plane is down after the drain completes.
 	if _, err := http.Get("http://" + s.Addr() + "/statusz"); err == nil {
 		t.Error("HTTP server still answering after drain")
+	}
+}
+
+// TestHTTPDebugBundleAndTerminalReplay is the forensics e2e: a failed
+// job leaves a bundle on disk, GET /v1/jobs/{id}/debug serves it as a
+// tar, the job JSON summarizes it, and GET /v1/jobs/{id}/events after
+// completion replays the flight-recorder tail instead of hanging up.
+func TestHTTPDebugBundleAndTerminalReplay(t *testing.T) {
+	debugDir := t.TempDir()
+	s := startServer(t, Config{MaxConcurrent: 1, DebugDir: debugDir})
+	s.sched.solve = func(app core.App, prob *scip.Prob, offset float64, cfg ug.Config) (*ug.Result, error) {
+		for i := 0; i < 3; i++ {
+			cfg.Trace.Emit(obs.Event{Kind: "incumbent", Primal: float64(9 - i), Dual: 1})
+		}
+		return nil, fmt.Errorf("solver exploded")
+	}
+
+	st := postJob(t, s, fmt.Sprintf(`{"kind":"stp","stp":%q}`, tinySTP))
+	final := awaitTerminal(t, s, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want failed", final.State)
+	}
+	if final.Debug == nil || final.Debug.Reason != string(StateFailed) {
+		t.Fatalf("job JSON debug summary = %+v, want a failed-bundle pointer", final.Debug)
+	}
+	if want := "/v1/jobs/" + st.ID + "/debug"; final.Debug.URL != want {
+		t.Fatalf("debug URL = %q, want %q", final.Debug.URL, want)
+	}
+
+	// The on-disk bundle validates as a post-mortem bundle.
+	b, err := obs.ReadBundle(final.Debug.Bundle)
+	if err != nil {
+		t.Fatalf("job bundle invalid: %v", err)
+	}
+	if b.Manifest.Reason != "job-failed" || !strings.Contains(b.Manifest.Detail, "solver exploded") {
+		t.Fatalf("bundle trigger = %s/%s", b.Manifest.Reason, b.Manifest.Detail)
+	}
+	if b.Manifest.Extra["job"] != st.ID {
+		t.Fatalf("bundle extra = %v, want job id", b.Manifest.Extra)
+	}
+	if len(b.Events) < 3 {
+		t.Fatalf("bundle has %d events, want the solve's tail", len(b.Events))
+	}
+
+	// GET /debug streams the same bundle as a tar.
+	resp, err := http.Get("http://" + s.Addr() + final.Debug.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET debug = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-tar" {
+		t.Fatalf("debug content-type = %q", ct)
+	}
+	seen := map[string]bool{}
+	tr := tar.NewReader(resp.Body)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[hdr.Name] = true
+	}
+	for _, want := range []string{"manifest.json", "events.jsonl", "metrics.txt", "goroutines.txt", "heap.pprof"} {
+		if !seen[want] {
+			t.Errorf("debug tar missing %s (got %v)", want, seen)
+		}
+	}
+
+	// A late /events client gets the recorded tail replayed, then EOF.
+	resp2, err := http.Get("http://" + s.Addr() + "/v1/jobs/" + st.ID + "/events?kind=incumbent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("replay content-type = %q", ct)
+	}
+	var frames []obs.Event
+	sc := bufio.NewScanner(resp2.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			var ev obs.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("replay frame %q: %v", line, err)
+			}
+			frames = append(frames, ev)
+		}
+	}
+	if len(frames) != 3 {
+		t.Fatalf("replayed %d incumbent frames, want 3", len(frames))
+	}
+	if frames[0].Primal != 9 || frames[2].Primal != 7 {
+		t.Fatalf("replay out of order: %+v", frames)
+	}
+
+}
+
+// TestHTTPDebugWithoutBundle: jobs that finished clean (or a server with
+// capture disabled) answer 404 on /debug and omit the JSON summary.
+func TestHTTPDebugWithoutBundle(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1})
+	final := awaitTerminal(t, s, postJob(t, s, fmt.Sprintf(`{"kind":"stp","stp":%q,"workers":1}`, tinySTP)).ID)
+	if final.State != StateDone || final.Debug != nil {
+		t.Fatalf("clean job = %s debug %+v, want done with no debug summary", final.State, final.Debug)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/v1/jobs/" + final.ID + "/debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug on clean job = %d, want 404", resp.StatusCode)
 	}
 }
 

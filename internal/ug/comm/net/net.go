@@ -62,6 +62,10 @@ type Options struct {
 	// Metrics receives transfer-byte counters and queue-depth gauges at
 	// construction time (nil disables collection).
 	Metrics *obs.Registry
+	// Capture, when armed, writes a post-mortem forensics bundle if a
+	// transport pump goroutine (send/recv/heartbeat/reject) panics; the
+	// panic is rethrown unchanged afterwards. Nil/disarmed is a no-op.
+	Capture *obs.Capturer
 }
 
 func (o Options) withDefaults() Options {
@@ -303,6 +307,7 @@ func (c *NetComm) admit(conn net.Conn, deadline time.Time) {
 // frame; it exits when Close shuts the listener.
 func (c *NetComm) rejectLoop() {
 	defer c.wg.Done()
+	defer c.opts.Capture.CapturePanic("netcomm.rejectLoop")
 	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
@@ -470,6 +475,7 @@ func (c *NetComm) snapshotPeers() []*peer {
 //ugo:hotpath driver
 func (c *NetComm) sendLoop(p *peer) {
 	defer c.wg.Done()
+	defer c.opts.Capture.CapturePanic("netcomm.sendLoop")
 	var buf []byte
 	for {
 		//lint:ignore ctxdeadline the outgoing queue blocks by design; peerGone and Close close it, which unblocks Get
@@ -522,6 +528,7 @@ func (c *NetComm) sendLoop(p *peer) {
 //ugo:hotpath driver
 func (c *NetComm) recvLoop(p *peer) {
 	defer c.wg.Done()
+	defer c.opts.Capture.CapturePanic("netcomm.recvLoop")
 	var buf []byte // frame body buffer, reused across reads
 	for {
 		// Re-arm the read deadline each frame: the remote heartbeats
@@ -568,6 +575,7 @@ func (c *NetComm) recvLoop(p *peer) {
 //ugo:hotpath driver
 func (c *NetComm) heartbeatLoop(p *peer) {
 	defer c.wg.Done()
+	defer c.opts.Capture.CapturePanic("netcomm.heartbeatLoop")
 	ticker := time.NewTicker(c.opts.HeartbeatEvery)
 	defer ticker.Stop()
 	miss := time.Duration(c.opts.HeartbeatMiss) * c.opts.HeartbeatEvery

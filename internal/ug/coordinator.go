@@ -61,6 +61,19 @@ type Config struct {
 	// Metrics receives live counters/gauges (pool depth, mailbox depth,
 	// transfer bytes). Nil disables collection at zero cost.
 	Metrics *obs.Registry
+
+	// Capture, when armed, writes a post-mortem forensics bundle at the
+	// run's failure edges: a panic in the coordinator or an in-process
+	// worker goroutine (recover-and-rethrow — crash semantics are
+	// unchanged, but the bundle lands first), and any error outcome of
+	// the run itself. Nil/disarmed is a no-op.
+	Capture *obs.Capturer
+
+	// TestPanicRank, when > 0, makes that worker rank panic on its first
+	// received subproblem — the fault-injection hook the post-mortem
+	// smoke test uses to exercise CapturePanic on a real solve. Never
+	// set outside tests and scripts/postmortem_smoke.sh.
+	TestPanicRank int
 }
 
 // RunStats aggregates the statistics the paper's tables report.
@@ -179,6 +192,9 @@ type coordinator struct {
 // Run executes a complete UG solve: global presolve in the coordinator,
 // ramp-up, coordinated parallel search, and shutdown.
 func Run(factory SolverFactory, cfg Config) (*Result, error) {
+	// A panic anywhere in the coordinator path leaves a forensics bundle
+	// before the crash propagates unchanged.
+	defer cfg.Capture.CapturePanic("ug.coordinator")
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
@@ -219,7 +235,8 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(rank int) {
 				defer wg.Done()
-				runWorker(rank, c, factory, cfg.Trace)
+				defer cfg.Capture.CapturePanic("ug.worker")
+				runWorker(rank, c, factory, cfg.Trace, cfg.TestPanicRank == rank)
 			}(rank)
 		}
 	}
@@ -252,6 +269,11 @@ func Run(factory SolverFactory, cfg Config) (*Result, error) {
 		c.Send(rank, comm.Message{From: 0, Tag: comm.TagTermination})
 	}
 	wg.Wait()
+	if err != nil && cfg.Capture.Armed() {
+		// The error outcome is a failure edge too: capture the final
+		// event window and profiles before the caller tears down.
+		_, _ = cfg.Capture.WriteBundle("error", err.Error())
+	}
 	return res, err
 }
 

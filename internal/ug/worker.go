@@ -1,6 +1,7 @@
 package ug
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/num"
@@ -134,12 +135,17 @@ func (s *Session) FoundSolution(sol Solution) {
 
 // runWorker is the ParaSolver main loop (the paper's Algorithm 2): wait
 // for work, solve it while communicating, report termination; exit on
-// the termination tag. trace may be nil (tracing disabled).
-func runWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer) {
+// the termination tag. trace may be nil (tracing disabled). testPanic
+// makes the solver panic on its first received subproblem — the
+// fault-injection hook behind Config.TestPanicRank.
+func runWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer, testPanic bool) {
 	for {
 		m := c.Recv(rank)
 		switch m.Tag {
 		case comm.TagSubproblem, comm.TagRacing:
+			if testPanic {
+				panic(fmt.Sprintf("ug: test-injected worker panic (rank %d)", rank))
+			}
 			var w workMsg
 			dec(m.Payload, &w)
 			solver := factory.CreateWorker(w.SettingsIdx)
@@ -165,5 +171,5 @@ func runWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer) 
 // gone. The factory must be presolved locally first (each process calls
 // GlobalPresolve on its own copy of the instance); trace may be nil.
 func RunWorker(rank int, c comm.Comm, factory SolverFactory, trace *obs.Tracer) {
-	runWorker(rank, c, factory, trace)
+	runWorker(rank, c, factory, trace, false)
 }

@@ -198,7 +198,7 @@ func TestRunWorkerLoop(t *testing.T) {
 	tracer := obs.NewTracer(sink)
 	done := make(chan struct{})
 	go func() {
-		runWorker(1, c, shipOneFactory{}, tracer)
+		runWorker(1, c, shipOneFactory{}, tracer, false)
 		close(done)
 	}()
 

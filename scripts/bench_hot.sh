@@ -3,7 +3,7 @@
 # ledger that pairs with the hotalloc analyzer (ugolint -hot).
 #
 # Runs the allocation benchmarks (internal/scip, internal/lp,
-# internal/ug/comm/net) twice — once in a detached git worktree at a
+# internal/ug/comm/net, internal/obs) twice — once in a detached git worktree at a
 # baseline ref (default HEAD~1, override with $1) and once in the
 # current tree — and writes the ns/op, B/op and allocs/op pairs side by
 # side. A benchmark missing at the baseline (or an unresolvable
@@ -22,8 +22,8 @@ cd "$(dirname "$0")/.."
 
 BASE_REF="${1:-HEAD~1}"
 BENCHTIME="${BENCHTIME:-2000x}"
-PKGS="./internal/scip ./internal/lp ./internal/ug/comm/net"
-BENCHES='^(BenchmarkProcessNode|BenchmarkSolveKnapsack|BenchmarkNodeHeap|BenchmarkLPResolve|BenchmarkFrameRoundTrip)$'
+PKGS="./internal/scip ./internal/lp ./internal/ug/comm/net ./internal/obs"
+BENCHES='^(BenchmarkProcessNode|BenchmarkSolveKnapsack|BenchmarkNodeHeap|BenchmarkLPResolve|BenchmarkFrameRoundTrip|BenchmarkRecorderEmit)$'
 OUT="BENCH_hotpath.json"
 
 # run_bench <dir> — emit "pkg name ns/op B/op allocs/op" per benchmark.

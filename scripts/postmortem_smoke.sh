@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# postmortem_smoke.sh — end-to-end smoke test for the black-box flight
+# recorder and the forensics bundle pipeline (DESIGN.md §7.6).
+#
+# Two deliberately broken runs, each of which must leave a bundle that
+# `ugtrace -postmortem` validates:
+#
+#   1. Panic: an in-process racing solve where worker rank 1 panics on
+#      its first subproblem (-test-panic-rank). The process must exit
+#      non-zero AND leave a "panic" bundle whose panic.txt names the
+#      panicking goroutine.
+#
+#   2. Stall: a 3-process distributed solve (-net-procs 2) where the
+#      workers delay their first terminated frame (-test-delay-term),
+#      going quiet long enough for the coordinator's 1s watchdog to
+#      fire. The run completes after the delay, but a "stall" bundle
+#      must exist whose manifest detail names the stalest rank. The
+#      self-spawned workers share the forensics directory (bundle names
+#      embed the pid) and may write their own stall bundles — every
+#      bundle found must validate.
+#
+# CI uploads the bundle directories as an artifact on failure and
+# success alike, so a broken pipeline is diagnosable from the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PANIC_DIR=/tmp/ug-postmortem-smoke-panic
+STALL_DIR=/tmp/ug-postmortem-smoke-stall
+rm -rf "$PANIC_DIR" "$STALL_DIR"
+
+go build -o /tmp/ugsteiner-pm ./cmd/ugsteiner
+go build -o /tmp/ugtrace-pm ./cmd/ugtrace
+
+# --- scenario 1: worker panic -------------------------------------------
+# Racing ramp-up hands every rank a subproblem, so the injected panic on
+# rank 1 fires deterministically. The panic must still crash the process.
+if /tmp/ugsteiner-pm -instance cc3-4p -workers 2 -racing \
+    -test-panic-rank 1 -forensics "$PANIC_DIR" \
+    >/tmp/ug-postmortem-smoke-panic.out 2>&1; then
+    echo "postmortem-smoke: panic-injected run exited 0 (panic swallowed?)" >&2
+    cat /tmp/ug-postmortem-smoke-panic.out >&2
+    exit 1
+fi
+
+panic_bundles=("$PANIC_DIR"/panic-*)
+if [ ! -d "${panic_bundles[0]}" ]; then
+    echo "postmortem-smoke: no panic bundle under $PANIC_DIR" >&2
+    cat /tmp/ug-postmortem-smoke-panic.out >&2
+    exit 1
+fi
+for b in "${panic_bundles[@]}"; do
+    /tmp/ugtrace-pm -postmortem "$b" || {
+        echo "postmortem-smoke: panic bundle $b failed validation" >&2
+        exit 1
+    }
+done
+grep -q '^goroutine ' "${panic_bundles[0]}/panic.txt" || {
+    echo "postmortem-smoke: panic.txt does not name the panicking goroutine:" >&2
+    cat "${panic_bundles[0]}/panic.txt" >&2
+    exit 1
+}
+grep -q 'test-injected worker panic' "${panic_bundles[0]}/panic.txt" || {
+    echo "postmortem-smoke: panic.txt missing the injected panic value" >&2
+    exit 1
+}
+
+# --- scenario 2: distributed stall --------------------------------------
+# The delayed terminated frame silences the workers' data channel while
+# heartbeats keep the links alive — exactly the "alive but not working"
+# stall the watchdog exists to catch. The run then finishes normally.
+/tmp/ugsteiner-pm -instance cc3-4p -net-procs 2 -watchdog 1s \
+    -test-delay-term 5s -forensics "$STALL_DIR" \
+    >/tmp/ug-postmortem-smoke-stall.out 2>&1 || {
+    echo "postmortem-smoke: stall-injected run failed outright" >&2
+    cat /tmp/ug-postmortem-smoke-stall.out >&2
+    exit 1
+}
+
+stall_bundles=("$STALL_DIR"/stall-*)
+if [ ! -d "${stall_bundles[0]}" ]; then
+    echo "postmortem-smoke: no stall bundle under $STALL_DIR" >&2
+    cat /tmp/ug-postmortem-smoke-stall.out >&2
+    exit 1
+fi
+for b in "${stall_bundles[@]}"; do
+    /tmp/ugtrace-pm -postmortem "$b" || {
+        echo "postmortem-smoke: stall bundle $b failed validation" >&2
+        exit 1
+    }
+done
+grep -l 'stalest rank' "$STALL_DIR"/stall-*/manifest.json >/dev/null || {
+    echo "postmortem-smoke: no stall bundle names the stalest rank" >&2
+    exit 1
+}
+
+echo "postmortem-smoke: ok (${#panic_bundles[@]} panic bundle(s), ${#stall_bundles[@]} stall bundle(s))"
